@@ -1,0 +1,136 @@
+package locec
+
+import (
+	"fmt"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// Builder assembles a social.Dataset from user code: users with profile
+// features, friendships, interaction counts, and revealed ground-truth
+// labels for the supervised phases.
+type Builder struct {
+	featureWidth int
+	features     [][]float64
+	gb           *graph.Builder
+	interactions map[uint64][]float64
+	labels       map[uint64]Label
+	revealed     map[uint64]bool
+	err          error
+}
+
+// NewBuilder creates a builder for n users whose profile vectors have
+// featureWidth dimensions (pass 0 if you have no profile features; a
+// single constant dimension is used so downstream models have input).
+func NewBuilder(n, featureWidth int) *Builder {
+	if featureWidth <= 0 {
+		featureWidth = 1
+	}
+	features := make([][]float64, n)
+	for i := range features {
+		features[i] = make([]float64, featureWidth)
+	}
+	return &Builder{
+		featureWidth: featureWidth,
+		features:     features,
+		gb:           graph.NewBuilder(n),
+		interactions: make(map[uint64][]float64),
+		labels:       make(map[uint64]Label),
+		revealed:     make(map[uint64]bool),
+	}
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+}
+
+// SetFeatures sets user u's profile vector. Width must match the builder's.
+func (b *Builder) SetFeatures(u NodeID, f []float64) *Builder {
+	if int(u) >= len(b.features) {
+		b.setErr(fmt.Errorf("locec: user %d out of range", u))
+		return b
+	}
+	if len(f) != b.featureWidth {
+		b.setErr(fmt.Errorf("locec: feature width %d, want %d", len(f), b.featureWidth))
+		return b
+	}
+	copy(b.features[u], f)
+	return b
+}
+
+// AddFriendship records the undirected edge {u,v}.
+func (b *Builder) AddFriendship(u, v NodeID) *Builder {
+	b.setErr(b.gb.AddEdge(u, v))
+	return b
+}
+
+// AddInteraction accumulates count interactions of the given dimension on
+// the friendship {u,v}. The friendship must have been added first.
+func (b *Builder) AddInteraction(u, v NodeID, dim InteractionDim, count float64) *Builder {
+	if dim < 0 || dim >= NumInteractionDims {
+		b.setErr(fmt.Errorf("locec: interaction dim %d out of range", dim))
+		return b
+	}
+	if !b.gb.HasEdge(u, v) {
+		b.setErr(fmt.Errorf("locec: interaction on missing friendship {%d,%d}", u, v))
+		return b
+	}
+	k := (graph.Edge{U: u, V: v}).Key()
+	vec, ok := b.interactions[k]
+	if !ok {
+		vec = make([]float64, NumInteractionDims)
+		b.interactions[k] = vec
+	}
+	vec[dim] += count
+	return b
+}
+
+// SetLabel records the known ground-truth relationship for {u,v} and
+// reveals it to the learners (the survey sample).
+func (b *Builder) SetLabel(u, v NodeID, l Label) *Builder {
+	if !l.ValidGroundTruth() {
+		b.setErr(fmt.Errorf("locec: invalid label %v", l))
+		return b
+	}
+	if !b.gb.HasEdge(u, v) {
+		b.setErr(fmt.Errorf("locec: label on missing friendship {%d,%d}", u, v))
+		return b
+	}
+	k := (graph.Edge{U: u, V: v}).Key()
+	b.labels[k] = l
+	b.revealed[k] = true
+	return b
+}
+
+// Build produces the dataset. Edges without a SetLabel call receive the
+// placeholder ground truth Other and stay unrevealed — they are classified
+// but never used for training or evaluation.
+func (b *Builder) Build() (*social.Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := b.gb.Build()
+	labels := make(map[uint64]Label, g.NumEdges())
+	g.ForEachEdge(func(u, v NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		if l, ok := b.labels[k]; ok {
+			labels[k] = l
+		} else {
+			labels[k] = Other
+		}
+	})
+	ds := &social.Dataset{
+		G:            g,
+		UserFeatures: b.features,
+		Interactions: b.interactions,
+		TrueLabels:   labels,
+		Revealed:     b.revealed,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

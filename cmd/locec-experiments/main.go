@@ -1,0 +1,118 @@
+// Command locec-experiments regenerates the paper's tables and figures on
+// the synthetic WeChat-like substrate.
+//
+// Usage:
+//
+//	locec-experiments -exp all
+//	locec-experiments -exp table4 -users 1200 -seed 42
+//	locec-experiments -exp fig11 -quick
+//
+// Experiments: table1 table2 table4 table5 table6
+// fig2 fig3 fig4 fig10a fig10b fig11 fig12a fig12b fig13 fig14, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"locec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run (comma-separated, or 'all')")
+		users = flag.Int("users", 0, "population size (0 = experiment default)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "reduced sweeps and training budgets")
+	)
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *users > 0 {
+		opt.Users = *users
+	}
+	opt.Seed = *seed
+
+	type runner struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	runners := []runner{
+		{"table1", func() (fmt.Stringer, error) { return experiments.Table1(opt) }},
+		{"table2", func() (fmt.Stringer, error) {
+			rep, err := experiments.Table2(opt)
+			if err != nil {
+				return nil, err
+			}
+			return titled{"Table II: group name classification performance", rep.String()}, nil
+		}},
+		{"fig2", func() (fmt.Stringer, error) { return experiments.Fig2(opt) }},
+		{"fig3", func() (fmt.Stringer, error) { return experiments.Fig3(opt) }},
+		{"fig4", func() (fmt.Stringer, error) { return experiments.Fig4(opt) }},
+		{"fig10a", func() (fmt.Stringer, error) { return experiments.Fig10a(opt) }},
+		{"fig10b", func() (fmt.Stringer, error) { return experiments.Fig10b(opt) }},
+		{"table4", func() (fmt.Stringer, error) {
+			rows, err := experiments.Table4(opt)
+			if err != nil {
+				return nil, err
+			}
+			return str(experiments.FormatTable4(rows)), nil
+		}},
+		{"fig11", func() (fmt.Stringer, error) { return experiments.Fig11(opt) }},
+		{"table5", func() (fmt.Stringer, error) {
+			rows, err := experiments.Table5(opt)
+			if err != nil {
+				return nil, err
+			}
+			return str(experiments.FormatTable5(rows)), nil
+		}},
+		{"table6", func() (fmt.Stringer, error) { return experiments.Table6(opt) }},
+		{"fig12a", func() (fmt.Stringer, error) { return experiments.Fig12a(opt) }},
+		{"fig12b", func() (fmt.Stringer, error) { return experiments.Fig12b(opt) }},
+		{"fig13", func() (fmt.Stringer, error) { return experiments.Fig13(opt) }},
+		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(opt) }},
+		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablations(opt) }},
+	}
+
+	want := map[string]bool{}
+	runAll := *exp == "all"
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	matched := false
+	for _, r := range runners {
+		if !runAll && !want[r.name] {
+			continue
+		}
+		matched = true
+		t0 := time.Now()
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locec-experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", r.name, time.Since(t0).Seconds(), out)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "locec-experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// str adapts a plain string to fmt.Stringer.
+type str string
+
+func (s str) String() string { return string(s) }
+
+// titled prefixes a rendering with a title line.
+type titled struct {
+	title, body string
+}
+
+func (t titled) String() string { return t.title + "\n" + t.body }

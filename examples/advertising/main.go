@@ -1,0 +1,79 @@
+// Advertising: the paper's motivating application (Section I, Fig. 14).
+//
+// A furniture advertiser supplies seed users; we compare two audience
+// strategies over a classified network: "Relation" (any friends of seeds)
+// versus LoCEC targeting (friends connected to a seed by a predicted
+// *family* edge). Family-endorsed furniture ads convert better, so the
+// typed audience should contain far more family edges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"locec"
+)
+
+func main() {
+	net, err := locec.Synthesize(locec.SynthConfig{Users: 800, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.RevealSurvey(0.4, 3)
+	res, err := locec.Classify(net.Dataset, locec.Config{
+		Variant: locec.VariantXGB, Rounds: 15, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Advertiser seeds: 100 random product fans.
+	rng := rand.New(rand.NewSource(7))
+	seeds := map[locec.NodeID]bool{}
+	for len(seeds) < 100 {
+		seeds[locec.NodeID(rng.Intn(800))] = true
+	}
+
+	type cand struct {
+		user, via locec.NodeID
+	}
+	var relation, typed []cand
+	for seed := range seeds {
+		for _, f := range net.Dataset.G.Neighbors(seed) {
+			if seeds[f] {
+				continue
+			}
+			c := cand{user: f, via: seed}
+			relation = append(relation, c)
+			if res.Label(f, seed) == locec.Family {
+				typed = append(typed, c)
+			}
+		}
+	}
+	sort.Slice(relation, func(i, j int) bool { return relation[i].user < relation[j].user })
+	sort.Slice(typed, func(i, j int) bool { return typed[i].user < typed[j].user })
+
+	// How often does each audience actually hold a family tie to its seed?
+	hitRate := func(cs []cand) float64 {
+		if len(cs) == 0 {
+			return 0
+		}
+		hits := 0
+		for _, c := range cs {
+			if net.TrueLabel(c.user, c.via) == locec.Family {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(cs))
+	}
+
+	fmt.Printf("furniture campaign, 100 seed users\n")
+	fmt.Printf("  Relation audience: %5d impressions, %5.1f%% genuinely family-linked\n",
+		len(relation), 100*hitRate(relation))
+	fmt.Printf("  LoCEC audience:    %5d impressions, %5.1f%% genuinely family-linked\n",
+		len(typed), 100*hitRate(typed))
+	fmt.Println("\nA furniture ad endorsed by an actual family member converts best;")
+	fmt.Println("LoCEC concentrates the budget on exactly those impressions.")
+}

@@ -1,0 +1,81 @@
+// Impurity: the paper's Section V-C closes with the "tour guide" problem —
+// an outsider absorbed into a community of colleagues inherits the wrong
+// majority label, capping edge-level accuracy below community-level
+// accuracy. This example runs the repository's impurity detector
+// (an implemented future-work extension) and shows that flagged members
+// really are mislabeled far more often than their communities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locec"
+	"locec/internal/graph"
+)
+
+func main() {
+	net, err := locec.Synthesize(locec.SynthConfig{Users: 700, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.RevealSurvey(0.4, 6)
+	res, err := locec.Classify(net.Dataset, locec.Config{
+		Variant: locec.VariantXGB, Rounds: 15, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flagged, flaggedWrong := 0, 0
+	clean, cleanWrong := 0, 0
+	examples := 0
+	for _, er := range res.Internal().Egos {
+		for _, c := range er.Comms {
+			majority := c.TruthLabel()
+			if !majority.Valid() || len(c.Members) < 4 {
+				continue
+			}
+			outliers := map[graph.NodeID]bool{}
+			for _, o := range c.Outliers(0.5) {
+				outliers[o.Member] = true
+			}
+			for _, m := range c.Members {
+				truth := net.TrueLabel(locec.NodeID(c.Ego), locec.NodeID(m))
+				if !truth.Valid() && truth != locec.Other {
+					continue
+				}
+				wrong := truth != majority
+				if outliers[m] {
+					flagged++
+					if wrong {
+						flaggedWrong++
+						if examples < 3 {
+							examples++
+							fmt.Printf("tour-guide case: user %d sits in ego %d's %v community but is really %v\n",
+								m, c.Ego, majority, truth)
+						}
+					}
+				} else {
+					clean++
+					if wrong {
+						cleanWrong++
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("\nflagged members:   %4d, %5.1f%% differ from their community's type\n",
+		flagged, 100*float64(flaggedWrong)/float64(max(flagged, 1)))
+	fmt.Printf("unflagged members: %4d, %5.1f%% differ from their community's type\n",
+		clean, 100*float64(cleanWrong)/float64(max(clean, 1)))
+	fmt.Println("\nLow-tightness members are exactly where community labels go wrong —")
+	fmt.Println("downweighting or re-classifying them is the paper's proposed future work.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+// Quickstart: build a small friendship graph by hand, label a few edges,
+// and let LoCEC classify the rest.
+//
+// The graph is two social circles around user 0: a family triangle
+// {0,1,2} and a study group {0,3,4,5}, bridged by an acquaintance edge.
+// We reveal the labels inside each circle except one edge per circle and
+// check what LoCEC infers for the hidden ones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locec"
+)
+
+func main() {
+	const users = 10
+	b := locec.NewBuilder(users, 2)
+	// Feature vector: [gender, age/80].
+	profiles := [][]float64{
+		{0, 0.50}, {1, 0.52}, {0, 0.22}, // family: two parents, one kid
+		{0, 0.23}, {1, 0.23}, {0, 0.24}, // study group, same age band
+		{1, 0.40}, {0, 0.41}, {1, 0.39}, {0, 0.42}, // colleagues of user 6
+	}
+	for i, p := range profiles {
+		b.SetFeatures(locec.NodeID(i), p)
+	}
+
+	type edge struct {
+		u, v  locec.NodeID
+		label locec.Label
+	}
+	edges := []edge{
+		// Family triangle.
+		{0, 1, locec.Family}, {0, 2, locec.Family}, {1, 2, locec.Family},
+		// Study group: a 4-clique.
+		{0, 3, locec.Schoolmate}, {0, 4, locec.Schoolmate}, {0, 5, locec.Schoolmate},
+		{3, 4, locec.Schoolmate}, {3, 5, locec.Schoolmate}, {4, 5, locec.Schoolmate},
+		// Workplace clique around user 6, attached to user 3.
+		{6, 7, locec.Colleague}, {6, 8, locec.Colleague}, {6, 9, locec.Colleague},
+		{7, 8, locec.Colleague}, {7, 9, locec.Colleague}, {8, 9, locec.Colleague},
+		{3, 6, locec.Colleague}, {3, 7, locec.Colleague}, {3, 8, locec.Colleague},
+	}
+	for _, e := range edges {
+		b.AddFriendship(e.u, e.v)
+	}
+
+	// Interactions: the family messages a lot, the study group likes each
+	// other's game posts, colleagues comment on articles.
+	b.AddInteraction(0, 1, locec.DimMessage, 12)
+	b.AddInteraction(0, 2, locec.DimMessage, 9)
+	b.AddInteraction(1, 2, locec.DimLikePicture, 4)
+	b.AddInteraction(3, 4, locec.DimLikeGame, 5)
+	b.AddInteraction(3, 5, locec.DimCommentGame, 3)
+	b.AddInteraction(4, 5, locec.DimLikeGame, 2)
+	b.AddInteraction(0, 4, locec.DimLikeGame, 1)
+	b.AddInteraction(6, 7, locec.DimCommentArticle, 4)
+	b.AddInteraction(6, 8, locec.DimLikeArticle, 3)
+	b.AddInteraction(7, 9, locec.DimCommentArticle, 2)
+	b.AddInteraction(3, 6, locec.DimLikeArticle, 1)
+
+	// Reveal most labels, but hide one edge per circle — those are the
+	// predictions we care about.
+	hidden := map[[2]locec.NodeID]locec.Label{
+		{1, 2}: locec.Family,
+		{4, 5}: locec.Schoolmate,
+		{7, 9}: locec.Colleague,
+	}
+	for _, e := range edges {
+		if _, hide := hidden[[2]locec.NodeID{e.u, e.v}]; hide {
+			continue
+		}
+		b.SetLabel(e.u, e.v, e.label)
+	}
+
+	ds, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The dataset is tiny, so the small XGB variant is the right tool.
+	res, err := locec.Classify(ds, locec.Config{
+		Variant: locec.VariantXGB, Rounds: 10, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("detected %d local communities across %d ego networks\n\n",
+		res.NumCommunities(), users)
+	fmt.Println("hidden-edge predictions:")
+	for pair, want := range hidden {
+		got := res.Label(pair[0], pair[1])
+		status := "MISS"
+		if got == want {
+			status = "ok"
+		}
+		fmt.Printf("  {%d,%d}: predicted %-14s (truth %-14s) %s\n",
+			pair[0], pair[1], got, want, status)
+	}
+}

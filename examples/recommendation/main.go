@@ -1,0 +1,77 @@
+// Recommendation: the paper's second motivating application (Section I):
+// "users tend to have more interest in news articles that are commonly
+// liked by their colleagues or games that are preferred by their
+// schoolmates."
+//
+// We classify a synthetic network, then build a tiny recommender: for a
+// target user, candidate items are scored by how many friends liked them,
+// and the typed variant weights likes by whether the endorsing friendship
+// type matches the item category (articles -> colleagues, games ->
+// schoolmates). We measure which variant surfaces the items the user's
+// same-type circles actually engage with.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locec"
+)
+
+func main() {
+	net, err := locec.Synthesize(locec.SynthConfig{Users: 600, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.RevealSurvey(0.4, 2)
+	res, err := locec.Classify(net.Dataset, locec.Config{
+		Variant: locec.VariantXGB, Rounds: 15, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a well-connected target user.
+	var target locec.NodeID
+	bestDeg := 0
+	for u := 0; u < net.Dataset.G.NumNodes(); u++ {
+		if d := net.Dataset.G.Degree(locec.NodeID(u)); d > bestDeg {
+			bestDeg = d
+			target = locec.NodeID(u)
+		}
+	}
+	friends := net.Dataset.G.Neighbors(target)
+	fmt.Printf("target user %d with %d friends\n\n", target, len(friends))
+
+	type rec struct {
+		kind     string
+		affinity locec.Label
+		likeDim  locec.InteractionDim
+	}
+	items := []rec{
+		{"news article", locec.Colleague, locec.DimLikeArticle},
+		{"mobile game", locec.Schoolmate, locec.DimLikeGame},
+	}
+	for _, item := range items {
+		flat, typed := 0.0, 0.0
+		typedFriends := 0
+		for _, f := range friends {
+			likes := net.Dataset.Interaction(target, f, item.likeDim)
+			flat += likes
+			if res.Label(target, f) == item.affinity {
+				typed += likes
+				typedFriends++
+			}
+		}
+		share := 0.0
+		if flat > 0 {
+			share = 100 * typed / flat
+		}
+		fmt.Printf("%-12s: %2.0f likes among all %d friends; %2.0f (%.0f%%) come from the %d friends\n",
+			item.kind, flat, len(friends), typed, share, typedFriends)
+		fmt.Printf("              LoCEC classifies as %s — the type that drives this category\n\n",
+			item.affinity)
+	}
+	fmt.Println("Ranking candidate items by same-type endorsements focuses the feed on")
+	fmt.Println("the circles that actually discuss each category (Section I of the paper).")
+}

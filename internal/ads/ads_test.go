@@ -1,0 +1,88 @@
+package ads
+
+import (
+	"testing"
+
+	"locec/internal/social"
+	"locec/internal/wechat"
+)
+
+// perfectPredictions uses the generator's ground truth as the classifier
+// output — the upper bound LoCEC approaches.
+func perfectPredictions(net *wechat.Network) map[uint64]social.Label {
+	out := make(map[uint64]social.Label, len(net.Dataset.TrueLabels))
+	for k, l := range net.Dataset.TrueLabels {
+		if l.Valid() {
+			out[k] = l
+		} else {
+			out[k] = social.Colleague // Others get some prediction
+		}
+	}
+	return out
+}
+
+func setup(t *testing.T) (*wechat.Network, *Simulator) {
+	t.Helper()
+	net, err := wechat.Generate(wechat.DefaultConfig(1200, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(net.Dataset, perfectPredictions(net), 5)
+	return net, sim
+}
+
+func TestCategoryAffinity(t *testing.T) {
+	if Furniture.AffinityType() != social.Family {
+		t.Fatal("furniture should target family")
+	}
+	if MobileGame.AffinityType() != social.Schoolmate {
+		t.Fatal("games should target schoolmates")
+	}
+	if Furniture.String() != "Furniture" || MobileGame.String() != "MobileGame" {
+		t.Fatal("category names wrong")
+	}
+}
+
+func TestTypedTargetingLiftsRates(t *testing.T) {
+	_, sim := setup(t)
+	for _, cat := range []Category{Furniture, MobileGame} {
+		// Average over several campaign draws to stabilize the comparison.
+		var lClick, rClick, lInt, rInt float64
+		runs := 8
+		for r := 0; r < runs; r++ {
+			lo, re := sim.Run(Campaign{Category: cat, Seeds: 150, Audience: 400, Seed: int64(100 + r)})
+			lClick += lo.ClickRate
+			rClick += re.ClickRate
+			lInt += lo.InteractRate
+			rInt += re.InteractRate
+		}
+		if lClick <= rClick {
+			t.Fatalf("%v: typed targeting click rate %.3f%% <= relation %.3f%%", cat, lClick/float64(runs), rClick/float64(runs))
+		}
+		if lInt <= rInt {
+			t.Fatalf("%v: typed targeting interact rate %.4f%% <= relation %.4f%%", cat, lInt/float64(runs), rInt/float64(runs))
+		}
+	}
+}
+
+func TestOutcomeRatesBounded(t *testing.T) {
+	_, sim := setup(t)
+	lo, re := sim.Run(Campaign{Category: Furniture, Seeds: 100, Audience: 300, Seed: 3})
+	for _, o := range []Outcome{lo, re} {
+		if o.ClickRate < 0 || o.ClickRate > 100 || o.InteractRate < 0 || o.InteractRate > 100 {
+			t.Fatalf("rates out of range: %+v", o)
+		}
+		if o.Impressions <= 0 {
+			t.Fatalf("no impressions: %+v", o)
+		}
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	_, sim := setup(t)
+	a1, b1 := sim.Run(Campaign{Category: MobileGame, Seeds: 80, Audience: 200, Seed: 9})
+	a2, b2 := sim.Run(Campaign{Category: MobileGame, Seeds: 80, Audience: 200, Seed: 9})
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("campaign results not deterministic for equal seeds")
+	}
+}

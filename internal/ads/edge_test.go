@@ -1,0 +1,81 @@
+package ads
+
+import (
+	"testing"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// emptyWorld builds a minimal dataset with no edges.
+func emptyWorld() *social.Dataset {
+	b := graph.NewBuilder(5)
+	return &social.Dataset{
+		G:            b.Build(),
+		UserFeatures: [][]float64{{0, 0, 0, 0, 0.5}, {0, 0, 0, 0, 0.5}, {0, 0, 0, 0, 0.5}, {0, 0, 0, 0, 0.5}, {0, 0, 0, 0, 0.5}},
+		Interactions: map[uint64][]float64{},
+		TrueLabels:   map[uint64]social.Label{},
+		Revealed:     map[uint64]bool{},
+	}
+}
+
+func TestCampaignOnEdgelessNetwork(t *testing.T) {
+	sim := NewSimulator(emptyWorld(), map[uint64]social.Label{}, 1)
+	lo, re := sim.Run(Campaign{Category: Furniture, Seeds: 3, Audience: 10, Seed: 2})
+	if lo.Impressions != 0 || re.Impressions != 0 {
+		t.Fatalf("edgeless network produced impressions: %+v %+v", lo, re)
+	}
+	if lo.ClickRate != 0 || re.InteractRate != 0 {
+		t.Fatalf("rates non-zero without impressions")
+	}
+}
+
+func TestImpressionsBoundedByAudience(t *testing.T) {
+	b := graph.NewBuilder(20)
+	labels := map[uint64]social.Label{}
+	for v := graph.NodeID(1); v < 20; v++ {
+		_ = b.AddEdge(0, v)
+		labels[(graph.Edge{U: 0, V: v}).Key()] = social.Family
+	}
+	feats := make([][]float64, 20)
+	for i := range feats {
+		feats[i] = []float64{0, 0, 0, 0, 0.5}
+	}
+	ds := &social.Dataset{
+		G: b.Build(), UserFeatures: feats,
+		Interactions: map[uint64][]float64{}, TrueLabels: labels, Revealed: map[uint64]bool{},
+	}
+	sim := NewSimulator(ds, labels, 3)
+	lo, re := sim.Run(Campaign{Category: Furniture, Seeds: 1, Audience: 5, Seed: 4})
+	if lo.Impressions > 5 || re.Impressions > 5 {
+		t.Fatalf("audience budget exceeded: %d / %d", lo.Impressions, re.Impressions)
+	}
+}
+
+func TestSeedsNeverInAudience(t *testing.T) {
+	// A clique where everyone is everyone's friend: seeds must be
+	// excluded from their own campaign's audience.
+	n := 12
+	b := graph.NewBuilder(n)
+	labels := map[uint64]social.Label{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			labels[(graph.Edge{U: graph.NodeID(i), V: graph.NodeID(j)}).Key()] = social.Schoolmate
+		}
+	}
+	feats := make([][]float64, n)
+	for i := range feats {
+		feats[i] = []float64{0, 0, 0, 0, 0.9}
+	}
+	ds := &social.Dataset{
+		G: b.Build(), UserFeatures: feats,
+		Interactions: map[uint64][]float64{}, TrueLabels: labels, Revealed: map[uint64]bool{},
+	}
+	sim := NewSimulator(ds, labels, 5)
+	lo, re := sim.Run(Campaign{Category: MobileGame, Seeds: n, Audience: 100, Seed: 6})
+	// All users are seeds: nobody is left to advertise to.
+	if lo.Impressions != 0 || re.Impressions != 0 {
+		t.Fatalf("seed users appeared in audience: %+v %+v", lo, re)
+	}
+}

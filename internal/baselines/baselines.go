@@ -1,0 +1,32 @@
+// Package baselines implements the three comparison methods of the paper's
+// evaluation (Section V):
+//
+//   - ProbWP (Aggarwal, He, Zhao, ICDE 2016): structural-similarity label
+//     propagation using min-hash signatures;
+//   - Economix (Aggarwal, Li, Yu, Zhao, ICDE 2017): matrix factorization
+//     over edge "documents" with structural co-regularization;
+//   - XGBoost: a gradient boosted tree classifier on raw edge features
+//     (both endpoints' profiles plus the pair's interaction counts).
+//
+// All three consume the shared social.Dataset representation and implement
+// the EdgeClassifier interface, so the evaluation harness treats them and
+// LoCEC uniformly.
+package baselines
+
+import (
+	"locec/internal/social"
+)
+
+// EdgeClassifier is the uniform train/predict contract used by the
+// evaluation harness for baselines and LoCEC alike.
+type EdgeClassifier interface {
+	// Name returns the display name used in result tables.
+	Name() string
+	// Fit trains on the dataset's revealed labels.
+	Fit(ds *social.Dataset) error
+	// PredictEdges predicts a label for each canonical edge key. A
+	// prediction may be social.Unlabeled when the method abstains (label
+	// propagation with no reachable labels), which evaluation counts
+	// against recall.
+	PredictEdges(ds *social.Dataset, keys []uint64) []social.Label
+}

@@ -1,0 +1,156 @@
+// Package cluster simulates the distributed deployment of LoCEC
+// (Section V-D): the production system streams nodes independently across
+// a fleet of servers in all three phases, so phase time grows linearly in
+// the node count and shrinks inversely in the server count.
+//
+// The simulator has two modes. Measured mode executes real per-item work
+// through a bounded worker pool, records each item's wall-clock cost, and
+// replays the cost sequence onto S virtual servers to obtain the makespan
+// S servers would achieve. Model mode extrapolates from a fitted per-node
+// cost to populations (hundreds of millions of nodes) that cannot be
+// executed locally — the substitution for the paper's 100–200 server
+// testbed documented in DESIGN.md.
+package cluster
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report summarizes one simulated phase execution.
+type Report struct {
+	// Servers is the virtual fleet size.
+	Servers int
+	// Items is the number of streamed work items (nodes).
+	Items int
+	// Makespan is the simulated wall-clock: the busiest server's total.
+	Makespan time.Duration
+	// MeanLoad is the average per-server total.
+	MeanLoad time.Duration
+	// Imbalance is Makespan/MeanLoad (1.0 = perfectly balanced).
+	Imbalance float64
+	// RealWall is the actual local execution time (measured mode only).
+	RealWall time.Duration
+}
+
+// Streamed executes fn(i) for i in [0, items) on a local worker pool while
+// measuring each item's cost, then assigns the measured costs to servers
+// round-robin (the production system's hash partitioning) and reports the
+// simulated makespan.
+func Streamed(items, servers int, fn func(i int)) Report {
+	if servers <= 0 {
+		servers = 1
+	}
+	costs := make([]time.Duration, items)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int, workers*2)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				fn(i)
+				costs[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	rep := Replay(costs, servers)
+	rep.RealWall = time.Since(start)
+	return rep
+}
+
+// Replay assigns a cost sequence to servers round-robin and computes the
+// resulting makespan statistics.
+func Replay(costs []time.Duration, servers int) Report {
+	if servers <= 0 {
+		servers = 1
+	}
+	loads := make([]time.Duration, servers)
+	for i, c := range costs {
+		loads[i%servers] += c
+	}
+	var max, sum time.Duration
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	mean := time.Duration(0)
+	if servers > 0 {
+		mean = sum / time.Duration(servers)
+	}
+	imb := 1.0
+	if mean > 0 {
+		imb = float64(max) / float64(mean)
+	}
+	return Report{
+		Servers:   servers,
+		Items:     len(costs),
+		Makespan:  max,
+		MeanLoad:  mean,
+		Imbalance: imb,
+	}
+}
+
+// CostModel extrapolates phase runtimes from measured per-node costs.
+type CostModel struct {
+	// PerNode is the fitted mean cost of one node in each phase
+	// (training excluded — the model is trained once, offline).
+	PerNode [3]time.Duration
+	// Overhead is a fixed per-phase coordination cost per server wave.
+	Overhead time.Duration
+}
+
+// FitCostModel computes mean per-node costs from measured samples.
+func FitCostModel(phase1, phase2, phase3 []time.Duration) CostModel {
+	return CostModel{PerNode: [3]time.Duration{meanDuration(phase1), meanDuration(phase2), meanDuration(phase3)}}
+}
+
+func meanDuration(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}
+
+// Predict returns the modeled runtime of each phase for a population of
+// nodes on a fleet of servers: nodes stream independently, so each phase
+// costs ceil(nodes/servers) × per-node cost plus overhead.
+func (m CostModel) Predict(nodes, servers int) [3]time.Duration {
+	if servers <= 0 {
+		servers = 1
+	}
+	perServer := (nodes + servers - 1) / servers
+	var out [3]time.Duration
+	for p := 0; p < 3; p++ {
+		out[p] = time.Duration(perServer)*m.PerNode[p] + m.Overhead
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile of a cost sample (used to report tail
+// node costs in the scalability study).
+func Quantile(costs []time.Duration, q float64) time.Duration {
+	if len(costs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), costs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

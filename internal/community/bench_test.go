@@ -1,0 +1,92 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"locec/internal/graph"
+)
+
+// egoLike builds a planted two-community graph shaped like a typical ego
+// network (the Phase I unit of work).
+func egoLike(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	half := n / 2
+	dense := func(lo, hi int, p float64) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				if rng.Float64() < p {
+					_ = b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+	}
+	dense(0, half, 0.5)
+	dense(half, n, 0.5)
+	_ = b.AddEdge(graph.NodeID(half-1), graph.NodeID(half))
+	return b.Build()
+}
+
+func BenchmarkGirvanNewmanEgo16(b *testing.B) {
+	g := egoLike(16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GirvanNewman(g, Options{})
+	}
+}
+
+func BenchmarkGirvanNewmanEgo32(b *testing.B) {
+	g := egoLike(32, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GirvanNewman(g, Options{})
+	}
+}
+
+func BenchmarkGirvanNewmanEgo64Patience(b *testing.B) {
+	g := egoLike(64, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GirvanNewman(g, Options{Patience: 20})
+	}
+}
+
+func BenchmarkEdgeBetweenness(b *testing.B) {
+	g := egoLike(32, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweenness(g)
+	}
+}
+
+func BenchmarkLabelPropagationEgo32(b *testing.B) {
+	g := egoLike(32, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LabelPropagation(g, 20, int64(i))
+	}
+}
+
+func BenchmarkLouvainEgo32(b *testing.B) {
+	g := egoLike(32, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Louvain(g, int64(i))
+	}
+}
+
+func BenchmarkLouvainEgo64(b *testing.B) {
+	g := egoLike(64, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Louvain(g, int64(i))
+	}
+}

@@ -1,0 +1,238 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locec/internal/graph"
+)
+
+// twoCliquesBridge builds two k-cliques joined by a single bridge edge.
+// Node 0..k-1 is clique A, k..2k-1 is clique B; bridge is {k-1, k}.
+func twoCliquesBridge(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			_ = b.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			_ = b.AddEdge(graph.NodeID(k+i), graph.NodeID(k+j))
+		}
+	}
+	_ = b.AddEdge(graph.NodeID(k-1), graph.NodeID(k))
+	return b.Build()
+}
+
+// fig7Ego builds the ego network of U1 from Fig. 7(b): members U2..U6 as
+// local 0..4 with edges {0,1},{0,2},{1,2},{2,4},{3,4}.
+func fig7Ego() *graph.Graph {
+	return graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 4}, {U: 3, V: 4}})
+}
+
+func TestEdgeBetweennessBridgeIsMax(t *testing.T) {
+	g := twoCliquesBridge(5)
+	eb := EdgeBetweenness(g)
+	bridgeKey := graph.Edge{U: 4, V: 5}.Key()
+	bridge := eb[bridgeKey]
+	for k, v := range eb {
+		if k == bridgeKey {
+			continue
+		}
+		if v >= bridge {
+			t.Fatalf("edge %v betweenness %.1f >= bridge %.1f", graph.EdgeFromKey(k), v, bridge)
+		}
+	}
+	// Bridge carries all 5*5 cross pairs, counted from both directions: 2*25
+	// plus its own endpoints' pair contribution.
+	want := 2.0 * (5*5 + 0) // cross pairs only pass the bridge; endpoints pair included in 5*5
+	if math.Abs(bridge-want) > 1e-9 {
+		t.Fatalf("bridge betweenness = %v, want %v", bridge, want)
+	}
+}
+
+func TestEdgeBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3: middle edge carries the most shortest paths.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	eb := EdgeBetweenness(g)
+	// Pairs through {1,2}: (0,2),(0,3),(1,2),(1,3) = 4 pairs, doubled = 8.
+	if got := eb[graph.Edge{U: 1, V: 2}.Key()]; math.Abs(got-8) > 1e-9 {
+		t.Fatalf("middle edge betweenness = %v, want 8", got)
+	}
+	// Pairs through {0,1}: (0,1),(0,2),(0,3) = 3 pairs, doubled = 6.
+	if got := eb[graph.Edge{U: 0, V: 1}.Key()]; math.Abs(got-6) > 1e-9 {
+		t.Fatalf("end edge betweenness = %v, want 6", got)
+	}
+}
+
+func TestGirvanNewmanTwoCliques(t *testing.T) {
+	g := twoCliquesBridge(5)
+	p := GirvanNewman(g, Options{})
+	if p.NumCommunities() != 2 {
+		t.Fatalf("communities = %d, want 2 (Q=%.3f)", p.NumCommunities(), p.Q)
+	}
+	// All of clique A together, all of clique B together.
+	for v := 1; v < 5; v++ {
+		if p.Assign[v] != p.Assign[0] {
+			t.Fatalf("clique A split: %v", p.Assign)
+		}
+	}
+	for v := 6; v < 10; v++ {
+		if p.Assign[v] != p.Assign[5] {
+			t.Fatalf("clique B split: %v", p.Assign)
+		}
+	}
+	if p.Assign[0] == p.Assign[5] {
+		t.Fatalf("cliques merged: %v", p.Assign)
+	}
+}
+
+func TestGirvanNewmanFig7(t *testing.T) {
+	// The paper's Fig. 7(c): communities {U2,U3,U4} and {U5,U6},
+	// i.e. locals {0,1,2} and {3,4}.
+	g := fig7Ego()
+	p := GirvanNewman(g, Options{})
+	if p.NumCommunities() != 2 {
+		t.Fatalf("communities = %d, want 2 (assign=%v)", p.NumCommunities(), p.Assign)
+	}
+	if p.Assign[0] != p.Assign[1] || p.Assign[1] != p.Assign[2] {
+		t.Fatalf("C1 split: %v", p.Assign)
+	}
+	if p.Assign[3] != p.Assign[4] {
+		t.Fatalf("C2 split: %v", p.Assign)
+	}
+	if p.Assign[0] == p.Assign[3] {
+		t.Fatalf("C1 and C2 merged: %v", p.Assign)
+	}
+}
+
+func TestGirvanNewmanEmptyAndSingleton(t *testing.T) {
+	empty := graph.FromEdges(0, nil)
+	p := GirvanNewman(empty, Options{})
+	if p.NumCommunities() != 0 {
+		t.Fatalf("empty graph communities = %d", p.NumCommunities())
+	}
+	single := graph.FromEdges(1, nil)
+	p = GirvanNewman(single, Options{})
+	if p.NumCommunities() != 1 || len(p.Comms[0]) != 1 {
+		t.Fatalf("singleton partition = %+v", p)
+	}
+	// Edgeless graph: every node its own community.
+	iso := graph.FromEdges(4, nil)
+	p = GirvanNewman(iso, Options{})
+	if p.NumCommunities() != 4 {
+		t.Fatalf("edgeless communities = %d, want 4", p.NumCommunities())
+	}
+}
+
+func TestGirvanNewmanPatienceStops(t *testing.T) {
+	g := twoCliquesBridge(6)
+	exact := GirvanNewman(g, Options{})
+	early := GirvanNewman(g, Options{Patience: 3})
+	// Early stop must still find the two-clique cut (the bridge goes first).
+	if early.NumCommunities() != exact.NumCommunities() {
+		t.Fatalf("patience changed result: %d vs %d", early.NumCommunities(), exact.NumCommunities())
+	}
+}
+
+func TestModularityKnownValue(t *testing.T) {
+	// Two triangles joined by one edge; perfect split has known Q.
+	// Edges: triangle {0,1,2}, triangle {3,4,5}, bridge {2,3} -> m=7.
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 4, V: 5},
+		{U: 2, V: 3},
+	})
+	assign := []int{0, 0, 0, 1, 1, 1}
+	// intra per comm = 3, deg(comm) = 7 each, m = 7.
+	want := 2 * (3.0/7.0 - math.Pow(7.0/14.0, 2))
+	if got := Modularity(g, assign); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Q = %v, want %v", got, want)
+	}
+	// The all-in-one partition has Q = 1 - 1 = ... compute: intra=7, deg=14.
+	if got := Modularity(g, []int{0, 0, 0, 0, 0, 0}); math.Abs(got-0) > 1e-12 {
+		t.Fatalf("single-community Q = %v, want 0", got)
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		p := GirvanNewman(g, Options{})
+		// Cover: every node in exactly one community; Assign consistent.
+		seen := make(map[graph.NodeID]int)
+		for c, comm := range p.Comms {
+			for _, v := range comm {
+				if _, dup := seen[v]; dup {
+					return false
+				}
+				seen[v] = c
+				if p.Assign[v] != c {
+					return false
+				}
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		// Modularity bounded.
+		return p.Q >= -1.0-1e-9 && p.Q <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliquesBridge(6)
+	p := LabelPropagation(g, 30, 42)
+	if p.NumCommunities() != 2 {
+		t.Fatalf("LPA communities = %d, want 2", p.NumCommunities())
+	}
+	if p.Assign[0] == p.Assign[6] {
+		t.Fatalf("LPA merged cliques: %v", p.Assign)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := twoCliquesBridge(5)
+	p1 := LabelPropagation(g, 30, 7)
+	p2 := LabelPropagation(g, 30, 7)
+	for i := range p1.Assign {
+		if p1.Assign[i] != p2.Assign[i] {
+			t.Fatalf("nondeterministic LPA at node %d", i)
+		}
+	}
+}
+
+func TestGirvanNewmanBetterOrEqualModularityThanTrivial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			_ = b.AddEdge(graph.NodeID(rng.Intn(i)), graph.NodeID(i)) // connected
+		}
+		for i := 0; i < n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		p := GirvanNewman(g, Options{})
+		trivial := make([]int, n) // everything in one community -> Q = 0
+		return p.Q >= Modularity(g, trivial)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package community
+
+import (
+	"math/rand"
+	"sort"
+
+	"locec/internal/graph"
+)
+
+// LabelPropagation detects communities with the asynchronous label
+// propagation algorithm (Raghavan et al. 2007). It is much faster than
+// Girvan–Newman and is used in the repository's ablation study comparing
+// Phase I detectors; the paper itself uses Girvan–Newman.
+//
+// The node visit order is shuffled per round with the given seed, and ties
+// are broken toward the smallest label, making the run deterministic.
+func LabelPropagation(g *graph.Graph, maxRounds int, seed int64) *Partition {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make(map[int]int)
+	for round := 0; round < maxRounds; round++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, u := range order {
+			ns := g.Neighbors(graph.NodeID(u))
+			if len(ns) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, v := range ns {
+				counts[labels[v]]++
+			}
+			bestLabel, bestCount := labels[u], 0
+			// Deterministic tie-break: smallest label among the most frequent.
+			keys := make([]int, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				if counts[k] > bestCount {
+					bestCount = counts[k]
+					bestLabel = k
+				}
+			}
+			if bestLabel != labels[u] {
+				labels[u] = bestLabel
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return canonicalize(g, labels)
+}
+
+// canonicalize renumbers arbitrary labels to dense community indices and
+// builds the Partition with modularity.
+func canonicalize(g *graph.Graph, labels []int) *Partition {
+	remap := make(map[int]int)
+	assign := make([]int, len(labels))
+	for v, l := range labels {
+		idx, ok := remap[l]
+		if !ok {
+			idx = len(remap)
+			remap[l] = idx
+		}
+		assign[v] = idx
+	}
+	comms := make([][]graph.NodeID, len(remap))
+	for v := range assign {
+		c := assign[v]
+		comms[c] = append(comms[c], graph.NodeID(v))
+	}
+	return &Partition{Assign: assign, Comms: comms, Q: Modularity(g, assign)}
+}

@@ -1,0 +1,108 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locec/internal/graph"
+)
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := twoCliquesBridge(6)
+	p := Louvain(g, 1)
+	if p.NumCommunities() != 2 {
+		t.Fatalf("communities = %d, want 2 (Q=%.3f)", p.NumCommunities(), p.Q)
+	}
+	for v := 1; v < 6; v++ {
+		if p.Assign[v] != p.Assign[0] {
+			t.Fatalf("clique A split: %v", p.Assign)
+		}
+	}
+	for v := 7; v < 12; v++ {
+		if p.Assign[v] != p.Assign[6] {
+			t.Fatalf("clique B split: %v", p.Assign)
+		}
+	}
+}
+
+func TestLouvainEdgelessAndEmpty(t *testing.T) {
+	p := Louvain(graph.FromEdges(0, nil), 1)
+	if p.NumCommunities() != 0 {
+		t.Fatalf("empty graph -> %d communities", p.NumCommunities())
+	}
+	p = Louvain(graph.FromEdges(3, nil), 1)
+	if p.NumCommunities() != 3 {
+		t.Fatalf("edgeless graph -> %d communities, want 3", p.NumCommunities())
+	}
+}
+
+func TestLouvainFig7(t *testing.T) {
+	// Fig. 7 ego network: same expected split as Girvan-Newman.
+	g := fig7Ego()
+	p := Louvain(g, 3)
+	if p.NumCommunities() != 2 {
+		t.Fatalf("communities = %d, want 2 (assign=%v)", p.NumCommunities(), p.Assign)
+	}
+	if p.Assign[0] != p.Assign[1] || p.Assign[1] != p.Assign[2] || p.Assign[3] != p.Assign[4] {
+		t.Fatalf("wrong split: %v", p.Assign)
+	}
+}
+
+func TestLouvainPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		p := Louvain(g, seed)
+		seen := make(map[graph.NodeID]bool)
+		for c, comm := range p.Comms {
+			for _, v := range comm {
+				if seen[v] || p.Assign[v] != c {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		// Non-trivial graphs: modularity at least that of the trivial
+		// all-in-one partition (Q = 0).
+		return p.Q >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g := twoCliquesBridge(8)
+	a := Louvain(g, 5)
+	b := Louvain(g, 5)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("Louvain not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestLouvainComparableModularityToGN(t *testing.T) {
+	// On planted two-clique graphs both detectors should find the same
+	// high-modularity structure.
+	for k := 4; k <= 8; k++ {
+		g := twoCliquesBridge(k)
+		gn := GirvanNewman(g, Options{})
+		lv := Louvain(g, 7)
+		if lv.Q < gn.Q-0.05 {
+			t.Fatalf("k=%d: Louvain Q=%.3f much worse than GN Q=%.3f", k, lv.Q, gn.Q)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"locec/internal/graph"
+	"locec/internal/wechat"
+)
+
+func benchNet(b *testing.B, users int) *wechat.Network {
+	b.Helper()
+	net, err := wechat.Generate(wechat.DefaultConfig(users, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.RunSurvey(0.4, 7)
+	return net
+}
+
+func BenchmarkPhase1Division500(b *testing.B) {
+	net := benchNet(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Divide(net.Dataset, DivisionConfig{})
+	}
+}
+
+func BenchmarkPhase1SingleEgo(b *testing.B) {
+	net := benchNet(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Divide1(net.Dataset, graph.NodeID(i%net.Dataset.G.NumNodes()), DivisionConfig{})
+	}
+}
+
+func BenchmarkFeatureMatrix(b *testing.B) {
+	net := benchNet(b, 300)
+	egos := Divide(net.Dataset, DivisionConfig{})
+	var comm *LocalCommunity
+	for _, er := range egos {
+		for _, c := range er.Comms {
+			if comm == nil || len(c.Members) > len(comm.Members) {
+				comm = c
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FeatureMatrix(net.Dataset, comm, 20)
+	}
+}
+
+func BenchmarkPooledFeatures(b *testing.B) {
+	net := benchNet(b, 300)
+	egos := Divide(net.Dataset, DivisionConfig{})
+	comm := egos[0].Comms[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PooledFeatures(net.Dataset, comm)
+	}
+}
+
+func BenchmarkFullPipelineXGB400(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := benchNet(b, 400)
+		p := NewPipeline(Config{Classifier: &XGBClassifier{Seed: 1}, Seed: 1})
+		b.StartTimer()
+		if _, err := p.Run(net.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

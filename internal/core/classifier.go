@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"locec/internal/gbdt"
+	"locec/internal/nn"
+	"locec/internal/social"
+	"locec/internal/tensor"
+)
+
+// CommunityClassifier is the Phase II model contract. Implementations must
+// provide class probabilities (for community-level evaluation and Fig. 13)
+// and a result vector r_C used as the edge-feature embedding (Eq. 4) —
+// the probability vector for CommCNN, the leaf-value embedding for XGBoost.
+type CommunityClassifier interface {
+	// Name identifies the variant ("LoCEC-CNN", "LoCEC-XGB").
+	Name() string
+	// Fit trains on the labeled communities.
+	Fit(ds *social.Dataset, comms []*LocalCommunity, labels []social.Label) error
+	// Classify fills Probs and Result on every community in place.
+	Classify(ds *social.Dataset, comms []*LocalCommunity)
+}
+
+// CNNClassifier wraps the CommCNN network of Fig. 8.
+type CNNClassifier struct {
+	// K is the feature-matrix row budget (paper's parameter study: 20).
+	K int
+	// Filters/Hidden size the network; Epochs/BatchSize/LR/Workers tune
+	// training. Zero values take sensible defaults.
+	Filters, Hidden int
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	Workers         int
+	Seed            int64
+	// ShuffleRows is the row-ordering ablation: ignore tightness and
+	// place members in seeded random order (not the paper's algorithm).
+	ShuffleRows bool
+
+	net *nn.Network
+}
+
+// Name implements CommunityClassifier.
+func (c *CNNClassifier) Name() string { return "LoCEC-CNN" }
+
+func (c *CNNClassifier) defaults() {
+	if c.K <= 0 {
+		c.K = 20
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 12
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+}
+
+func (c *CNNClassifier) matrixOf(ds *social.Dataset, comm *LocalCommunity) *tensor.Tensor {
+	if c.ShuffleRows {
+		return tensor.FromMatrix(FeatureMatrixShuffled(ds, comm, c.K, c.Seed))
+	}
+	return tensor.FromMatrix(FeatureMatrix(ds, comm, c.K))
+}
+
+// Fit implements CommunityClassifier.
+func (c *CNNClassifier) Fit(ds *social.Dataset, comms []*LocalCommunity, labels []social.Label) error {
+	c.defaults()
+	if len(comms) == 0 {
+		return fmt.Errorf("core: no labeled communities to train on")
+	}
+	features := int(social.NumInteractionDims) + ds.NumFeatureDims()
+	net, err := nn.NewCommCNN(nn.CommCNNConfig{
+		K: c.K, Features: features, Classes: social.NumLabels,
+		Filters: c.Filters, Hidden: c.Hidden, Seed: c.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	xs := make([]*tensor.Tensor, len(comms))
+	ys := make([]int, len(comms))
+	for i, comm := range comms {
+		xs[i] = c.matrixOf(ds, comm)
+		ys[i] = int(labels[i])
+	}
+	net.Fit(xs, ys, nn.TrainConfig{
+		Epochs: c.Epochs, BatchSize: c.BatchSize, Seed: c.Seed + 1,
+		Workers: c.Workers, Optimizer: nn.NewAdam(c.LR),
+	})
+	c.net = net
+	return nil
+}
+
+// Classify implements CommunityClassifier. Inference is embarrassingly
+// parallel; each worker uses a cloned network (activation state is
+// per-instance).
+func (c *CNNClassifier) Classify(ds *social.Dataset, comms []*LocalCommunity) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(comms) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(comms) {
+			hi = len(comms)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			net := &nn.Network{Root: c.net.Root.Clone(), Classes: c.net.Classes}
+			for i := lo; i < hi; i++ {
+				probs := net.Predict(c.matrixOf(ds, comms[i]))
+				comms[i].Probs = probs
+				comms[i].Result = probs // r_C = softmax vector (paper, Phase III)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// XGBClassifier is the LoCEC-XGB variant: mean/std pooled community
+// vectors into a boosted-tree model; r_C is the leaf-value embedding.
+type XGBClassifier struct {
+	// Config tunes the GBDT; Classes is forced to NumLabels.
+	Config gbdt.Config
+	// Seed overrides Config.Seed when non-zero.
+	Seed int64
+
+	model *gbdt.Model
+}
+
+// Name implements CommunityClassifier.
+func (x *XGBClassifier) Name() string { return "LoCEC-XGB" }
+
+// Fit implements CommunityClassifier.
+func (x *XGBClassifier) Fit(ds *social.Dataset, comms []*LocalCommunity, labels []social.Label) error {
+	if len(comms) == 0 {
+		return fmt.Errorf("core: no labeled communities to train on")
+	}
+	X := make([][]float64, len(comms))
+	y := make([]int, len(comms))
+	for i, comm := range comms {
+		X[i] = PooledFeatures(ds, comm)
+		y[i] = int(labels[i])
+	}
+	cfg := x.Config
+	cfg.Classes = social.NumLabels
+	if x.Seed != 0 {
+		cfg.Seed = x.Seed
+	}
+	model, err := gbdt.Train(X, y, cfg)
+	if err != nil {
+		return err
+	}
+	x.model = model
+	return nil
+}
+
+// Classify implements CommunityClassifier.
+func (x *XGBClassifier) Classify(ds *social.Dataset, comms []*LocalCommunity) {
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(comms) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(comms) {
+			hi = len(comms)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				feats := PooledFeatures(ds, comms[i])
+				comms[i].Probs = x.model.PredictProba(feats)
+				comms[i].Result = x.model.LeafValues(feats)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

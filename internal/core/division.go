@@ -1,0 +1,216 @@
+// Package core implements the LoCEC engine: the three-phase
+// division / aggregation / combination pipeline of the paper (Section IV),
+// including ego-network community detection, the Eq. 1–3 feature and
+// tightness computations, Algorithm 1 feature-matrix construction, the
+// pluggable community classifiers (CommCNN and XGBoost), and the logistic
+// regression edge combiner of Eq. 4.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"locec/internal/community"
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// LocalCommunity is one community detected inside an ego network
+// (Phase I output). Members are global node IDs.
+type LocalCommunity struct {
+	// Ego is the ego node whose network contains this community.
+	Ego graph.NodeID
+	// Members lists the community's nodes (global IDs).
+	Members []graph.NodeID
+	// Tightness[i] is tightness(Members[i], C) per Eq. 3.
+	Tightness []float64
+	// Result is the classification probability vector r_C filled in
+	// Phase II (nil until then). For the CNN classifier it has length
+	// NumLabels; for XGBoost it is the leaf-value embedding.
+	Result []float64
+	// Probs is the class probability vector over the NumLabels classes,
+	// filled in Phase II regardless of classifier (used for Table V and
+	// Fig. 13).
+	Probs []float64
+	// TruthVotes counts revealed ego-edge labels per class; the majority
+	// defines the community's ground-truth label where known.
+	TruthVotes [social.NumLabels]int
+}
+
+// TruthLabel returns the majority revealed label (Section V-C's community
+// ground truth), or Unlabeled when no incident ego edge is revealed.
+// Ties resolve to the smaller class index for determinism.
+func (c *LocalCommunity) TruthLabel() social.Label {
+	best, bestV := social.Unlabeled, 0
+	for i := 0; i < social.NumLabels; i++ {
+		if c.TruthVotes[i] > bestV {
+			bestV = c.TruthVotes[i]
+			best = social.Label(i)
+		}
+	}
+	return best
+}
+
+// EgoResult holds Phase I output for one ego node: its friends, the
+// community each friend belongs to, and the friend's tightness there.
+type EgoResult struct {
+	Ego graph.NodeID
+	// Members are the ego's friends (global IDs, sorted).
+	Members []graph.NodeID
+	// CommIdx[i] is the index into Comms of Members[i]'s community.
+	CommIdx []int
+	// Tightness[i] is tightness(Members[i], community) per Eq. 3.
+	Tightness []float64
+	// Comms are the local communities of this ego network.
+	Comms []*LocalCommunity
+}
+
+// CommunityOf returns the local community containing friend u and u's
+// tightness in it, or (nil, 0) if u is not a friend of the ego.
+func (r *EgoResult) CommunityOf(u graph.NodeID) (*LocalCommunity, float64) {
+	lo, hi := 0, len(r.Members)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.Members[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(r.Members) || r.Members[lo] != u {
+		return nil, 0
+	}
+	return r.Comms[r.CommIdx[lo]], r.Tightness[lo]
+}
+
+// DetectorKind selects the Phase I community detector.
+type DetectorKind int
+
+const (
+	// DetectorGirvanNewman is the paper's choice.
+	DetectorGirvanNewman DetectorKind = iota
+	// DetectorLabelProp is the fast ablation alternative.
+	DetectorLabelProp
+	// DetectorLouvain is the greedy-modularity ablation alternative.
+	DetectorLouvain
+)
+
+// DivisionConfig tunes Phase I.
+type DivisionConfig struct {
+	Detector DetectorKind
+	// GNPatience is forwarded to community.Options.Patience (0 = exact).
+	GNPatience int
+	// Workers is the parallel width (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives the label-propagation detector.
+	Seed int64
+}
+
+// Divide runs Phase I over every node of the graph: ego-network extraction
+// (ego excluded) followed by community detection, tightness computation,
+// and ground-truth vote tallying from revealed edge labels.
+//
+// Nodes are processed independently — the property that lets the deployed
+// system stream a billion-node graph across servers (Section V-D) — so the
+// local run uses a simple worker pool.
+func Divide(ds *social.Dataset, cfg DivisionConfig) []*EgoResult {
+	n := ds.G.NumNodes()
+	results := make([]*EgoResult, n)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				results[u] = divideOne(ds, graph.NodeID(u), cfg)
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Divide1 runs Phase I for a single ego node — the distributed system's
+// per-node unit of work. The scalability study uses it to measure raw
+// per-node costs.
+func Divide1(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig) *EgoResult {
+	return divideOne(ds, ego, cfg)
+}
+
+// divideOne processes a single ego node.
+func divideOne(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig) *EgoResult {
+	en := ds.G.Ego(ego)
+	var part *community.Partition
+	switch cfg.Detector {
+	case DetectorLabelProp:
+		part = community.LabelPropagation(en.G, 20, cfg.Seed+int64(ego))
+	case DetectorLouvain:
+		part = community.Louvain(en.G, cfg.Seed+int64(ego))
+	default:
+		part = community.GirvanNewman(en.G, community.Options{Patience: cfg.GNPatience})
+	}
+	res := &EgoResult{
+		Ego:       ego,
+		Members:   en.Members,
+		CommIdx:   part.Assign,
+		Tightness: make([]float64, len(en.Members)),
+		Comms:     make([]*LocalCommunity, len(part.Comms)),
+	}
+	for ci, locals := range part.Comms {
+		members := make([]graph.NodeID, len(locals))
+		for i, l := range locals {
+			members[i] = en.Members[l]
+		}
+		res.Comms[ci] = &LocalCommunity{Ego: ego, Members: members, Tightness: make([]float64, len(members))}
+	}
+	// Tightness per Eq. 3, using the ego network's internal adjacency.
+	commSize := make([]int, len(part.Comms))
+	for _, c := range part.Assign {
+		commSize[c]++
+	}
+	posInComm := make([]int, len(en.Members)) // index of each member within its community
+	counters := make([]int, len(part.Comms))
+	for i := range en.Members {
+		c := part.Assign[i]
+		posInComm[i] = counters[c]
+		counters[c]++
+	}
+	for i := range en.Members {
+		c := part.Assign[i]
+		var t float64
+		if commSize[c] == 1 {
+			t = 1 // Eq. 3 special case
+		} else {
+			inComm := 0
+			degEgo := en.G.Degree(graph.NodeID(i))
+			for _, nb := range en.G.Neighbors(graph.NodeID(i)) {
+				if part.Assign[nb] == c {
+					inComm++
+				}
+			}
+			fc := float64(inComm)
+			t = fc / float64(degEgo) * fc / float64(commSize[c]-1)
+		}
+		res.Tightness[i] = t
+		res.Comms[c].Tightness[posInComm[i]] = t
+	}
+	// Ground-truth votes from revealed ego->friend edge labels.
+	for i, m := range en.Members {
+		k := (graph.Edge{U: ego, V: m}).Key()
+		if ds.Revealed[k] {
+			if l := ds.TrueLabels[k]; l.Valid() {
+				res.Comms[part.Assign[i]].TruthVotes[l]++
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+	"locec/internal/tensor"
+)
+
+// InteractFeatures computes I_u^C for every member u of community C per
+// Eq. 1–2: each dimension is u's interaction volume with other members,
+// normalized by the community's total internal volume on that dimension.
+// Rows align with c.Members. Dimensions whose community total is zero
+// yield zeros (the all-dormant community edge case).
+func InteractFeatures(ds *social.Dataset, c *LocalCommunity) [][]float64 {
+	nd := int(social.NumInteractionDims)
+	rows := make([][]float64, len(c.Members))
+	for i := range rows {
+		rows[i] = make([]float64, nd)
+	}
+	totals := make([]float64, nd)
+	for i := 0; i < len(c.Members); i++ {
+		for j := i + 1; j < len(c.Members); j++ {
+			iv := ds.InteractionVector(c.Members[i], c.Members[j])
+			for d := 0; d < nd; d++ {
+				v := iv[d]
+				if v == 0 {
+					continue
+				}
+				rows[i][d] += v
+				rows[j][d] += v
+				totals[d] += v
+			}
+		}
+	}
+	for d := 0; d < nd; d++ {
+		if totals[d] == 0 {
+			continue
+		}
+		for i := range rows {
+			rows[i][d] /= totals[d]
+		}
+	}
+	return rows
+}
+
+// FeatureMatrix builds the k×(|I|+|f|) community feature matrix of
+// Algorithm 1: member rows [I_u^C, f_u] ordered by descending tightness,
+// truncated to the top k and zero-padded when the community is smaller.
+func FeatureMatrix(ds *social.Dataset, c *LocalCommunity, k int) *tensor.Matrix {
+	order := make([]int, len(c.Members))
+	for i := range order {
+		order[i] = i
+	}
+	// Order members by descending tightness (Algorithm 1's max-heap);
+	// break ties by node ID for determinism.
+	sort.Slice(order, func(a, b int) bool {
+		if c.Tightness[order[a]] != c.Tightness[order[b]] {
+			return c.Tightness[order[a]] > c.Tightness[order[b]]
+		}
+		return c.Members[order[a]] < c.Members[order[b]]
+	})
+	return matrixInOrder(ds, c, k, order)
+}
+
+// FeatureMatrixShuffled is the row-ordering ablation: members are placed
+// in a seeded random order instead of by tightness. Comparing it against
+// FeatureMatrix quantifies how much Algorithm 1's ordering contributes.
+func FeatureMatrixShuffled(ds *social.Dataset, c *LocalCommunity, k int, seed int64) *tensor.Matrix {
+	order := make([]int, len(c.Members))
+	for i := range order {
+		order[i] = i
+	}
+	// Seeded per-community shuffle (xorshift) keeps the run deterministic
+	// without threading an *rand.Rand through parallel workers.
+	s := uint64(seed) ^ (uint64(c.Ego)+1)*0x9e3779b97f4a7c15
+	if len(c.Members) > 0 {
+		s ^= uint64(c.Members[0]) << 32
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return matrixInOrder(ds, c, k, order)
+}
+
+func matrixInOrder(ds *social.Dataset, c *LocalCommunity, k int, order []int) *tensor.Matrix {
+	nd := int(social.NumInteractionDims)
+	nf := ds.NumFeatureDims()
+	m := tensor.NewMatrix(k, nd+nf)
+	inter := InteractFeatures(ds, c)
+	rows := len(order)
+	if rows > k {
+		rows = k
+	}
+	for r := 0; r < rows; r++ {
+		i := order[r]
+		row := m.Row(r)
+		copy(row[:nd], inter[i])
+		copy(row[nd:], ds.UserFeatures[c.Members[i]])
+	}
+	return m
+}
+
+// PooledFeatures computes the LoCEC-XGB community representation: the mean
+// and standard deviation of every feature dimension over ALL members
+// (k-independent, as the paper notes). Layout: [means..., stds...].
+func PooledFeatures(ds *social.Dataset, c *LocalCommunity) []float64 {
+	nd := int(social.NumInteractionDims)
+	nf := ds.NumFeatureDims()
+	w := nd + nf
+	mean := make([]float64, w)
+	m2 := make([]float64, w)
+	inter := InteractFeatures(ds, c)
+	n := float64(len(c.Members))
+	row := make([]float64, w)
+	for i, u := range c.Members {
+		copy(row[:nd], inter[i])
+		copy(row[nd:], ds.UserFeatures[u])
+		for d := 0; d < w; d++ {
+			mean[d] += row[d]
+			m2[d] += row[d] * row[d]
+		}
+	}
+	out := make([]float64, 2*w)
+	for d := 0; d < w; d++ {
+		mu := mean[d] / n
+		out[d] = mu
+		variance := m2[d]/n - mu*mu
+		if variance < 0 {
+			variance = 0
+		}
+		out[w+d] = math.Sqrt(variance)
+	}
+	return out
+}
+
+// EdgeFeatureVector builds f⟨u,v⟩ per Eq. 4 from the two endpoint-side
+// communities: [tightness(u,Cu), tightness(v,Cv), r_Cu, r_Cv]. Endpoints
+// are ordered canonically (u < v) so train and predict agree.
+func EdgeFeatureVector(egoResults []*EgoResult, u, v graph.NodeID) []float64 {
+	if u > v {
+		u, v = v, u
+	}
+	// Cu: community u resides in within v's ego network, and vice versa.
+	cu, tu := egoResults[v].CommunityOf(u)
+	cv, tv := egoResults[u].CommunityOf(v)
+	ru, rv := cu.Result, cv.Result
+	out := make([]float64, 0, 2+len(ru)+len(rv))
+	out = append(out, tu, tv)
+	out = append(out, ru...)
+	out = append(out, rv...)
+	return out
+}

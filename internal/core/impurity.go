@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// The paper's Section V-C closes with two future-work directions: handling
+// edges whose endpoints legitimately carry multiple relationship types,
+// and detecting the *impurity* of detected local communities — the tour
+// guide placed inside a community of colleagues, whose edges then inherit
+// the wrong majority label. This file implements both extensions.
+
+// OutlierMember is a community member whose connectivity pattern marks it
+// as a probable intruder.
+type OutlierMember struct {
+	Member    graph.NodeID
+	Tightness float64
+	// Gap is how far below the community's median tightness this member
+	// sits (0 when at or above the median).
+	Gap float64
+}
+
+// Outliers flags members whose tightness falls below ratio × the
+// community's median tightness (the tour-guide detector). Communities of
+// fewer than 4 members yield no outliers: the median is too unstable.
+func (c *LocalCommunity) Outliers(ratio float64) []OutlierMember {
+	if len(c.Members) < 4 {
+		return nil
+	}
+	if ratio <= 0 {
+		ratio = 0.5
+	}
+	sorted := append([]float64(nil), c.Tightness...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	threshold := median * ratio
+	var out []OutlierMember
+	for i, t := range c.Tightness {
+		if t < threshold {
+			out = append(out, OutlierMember{
+				Member:    c.Members[i],
+				Tightness: t,
+				Gap:       median - t,
+			})
+		}
+	}
+	return out
+}
+
+// MultiLabel returns every relationship type whose predicted probability
+// on the edge exceeds threshold, strongest first — the paper's multi-type
+// relationship mining extension. With a high threshold it degenerates to
+// the single principal type.
+func (r *Result) MultiLabel(u, v graph.NodeID, threshold float64) []LabelScore {
+	probs, ok := r.Probabilities[(graph.Edge{U: u, V: v}).Key()]
+	if !ok {
+		return nil
+	}
+	var out []LabelScore
+	for c, p := range probs {
+		if p >= threshold {
+			out = append(out, LabelScore{Label: social.Label(c), Score: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// LabelScore pairs a relationship type with its predicted probability.
+type LabelScore struct {
+	Label social.Label
+	Score float64
+}

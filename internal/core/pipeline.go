@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"locec/internal/graph"
+	"locec/internal/logreg"
+	"locec/internal/social"
+)
+
+// Config assembles a full LoCEC pipeline.
+type Config struct {
+	// Division tunes Phase I.
+	Division DivisionConfig
+	// Classifier is the Phase II model; nil defaults to a CNNClassifier
+	// with paper parameters (k = 20).
+	Classifier CommunityClassifier
+	// Combiner tunes the Phase III logistic regression.
+	Combiner logreg.Config
+	// AgreementRule replaces the Phase III logistic regression with the
+	// naive rule the paper discusses before introducing LR: if both
+	// endpoint communities agree on a type, use it; otherwise take the
+	// tightness-weighted argmax of the two probability vectors. An
+	// ablation — not the paper's shipped combiner.
+	AgreementRule bool
+	// Seed seeds the combiner when Combiner.Seed is zero.
+	Seed int64
+}
+
+// PhaseTimes records wall-clock durations per phase (Table VI's columns).
+type PhaseTimes struct {
+	Training time.Duration // Phase II model training
+	Phase1   time.Duration // division: ego networks + community detection
+	Phase2   time.Duration // aggregation: features + community classification
+	Phase3   time.Duration // combination: edge features + LR + prediction
+}
+
+// Total sums all phases including training.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Training + p.Phase1 + p.Phase2 + p.Phase3
+}
+
+// Result is a full pipeline run output.
+type Result struct {
+	// Egos holds Phase I output per node.
+	Egos []*EgoResult
+	// Communities flattens every local community across all ego networks.
+	Communities []*LocalCommunity
+	// Predictions maps every edge key to its predicted label.
+	Predictions map[uint64]social.Label
+	// Probabilities maps every edge key to its class probability vector.
+	Probabilities map[uint64][]float64
+	// Times records per-phase durations.
+	Times PhaseTimes
+	// ClassifierName echoes the Phase II model used.
+	ClassifierName string
+}
+
+// PredictedLabel returns the predicted label for the edge {u,v}.
+func (r *Result) PredictedLabel(u, v graph.NodeID) social.Label {
+	return r.Predictions[(graph.Edge{U: u, V: v}).Key()]
+}
+
+// Pipeline is a configured LoCEC instance.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates and builds a pipeline.
+func NewPipeline(cfg Config) *Pipeline {
+	if cfg.Classifier == nil {
+		cfg.Classifier = &CNNClassifier{K: 20, Seed: cfg.Seed}
+	}
+	if cfg.Combiner.Classes == 0 {
+		cfg.Combiner.Classes = social.NumLabels
+	}
+	if cfg.Combiner.Seed == 0 {
+		cfg.Combiner.Seed = cfg.Seed + 101
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// Run executes the three phases on the dataset and labels every edge.
+// Training data comes exclusively from ds.Revealed; the caller controls
+// train/test isolation by hiding labels before the run.
+func (p *Pipeline) Run(ds *social.Dataset) (*Result, error) {
+	res := &Result{ClassifierName: p.cfg.Classifier.Name()}
+
+	// ---- Phase I: division ------------------------------------------
+	t0 := time.Now()
+	res.Egos = Divide(ds, p.cfg.Division)
+	for _, er := range res.Egos {
+		res.Communities = append(res.Communities, er.Comms...)
+	}
+	res.Times.Phase1 = time.Since(t0)
+
+	// ---- Phase II: aggregation --------------------------------------
+	// Train the community classifier on communities whose ground truth is
+	// derivable from revealed ego-edge labels.
+	t0 = time.Now()
+	var trainComms []*LocalCommunity
+	var trainLabels []social.Label
+	for _, c := range res.Communities {
+		if l := c.TruthLabel(); l.Valid() {
+			trainComms = append(trainComms, c)
+			trainLabels = append(trainLabels, l)
+		}
+	}
+	if err := p.cfg.Classifier.Fit(ds, trainComms, trainLabels); err != nil {
+		return nil, fmt.Errorf("core: phase II training: %w", err)
+	}
+	res.Times.Training = time.Since(t0)
+
+	t0 = time.Now()
+	p.cfg.Classifier.Classify(ds, res.Communities)
+	res.Times.Phase2 = time.Since(t0)
+
+	// ---- Phase III: combination -------------------------------------
+	t0 = time.Now()
+	if p.cfg.AgreementRule {
+		p.combineByAgreement(ds, res)
+		res.Times.Phase3 = time.Since(t0)
+		return res, nil
+	}
+	labeled := ds.LabeledEdges()
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("core: phase III requires labeled edges")
+	}
+	X := make([][]float64, 0, len(labeled))
+	y := make([]int, 0, len(labeled))
+	for _, k := range labeled {
+		e := graph.EdgeFromKey(k)
+		X = append(X, EdgeFeatureVector(res.Egos, e.U, e.V))
+		y = append(y, int(ds.TrueLabels[k]))
+	}
+	lr, err := logreg.Train(X, y, p.cfg.Combiner)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase III training: %w", err)
+	}
+	res.Predictions = make(map[uint64]social.Label, ds.G.NumEdges())
+	res.Probabilities = make(map[uint64][]float64, ds.G.NumEdges())
+	ds.G.ForEachEdge(func(u, v graph.NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		probs := lr.PredictProba(EdgeFeatureVector(res.Egos, u, v))
+		res.Probabilities[k] = probs
+		best, bi := -1.0, 0
+		for c, pr := range probs {
+			if pr > best {
+				best, bi = pr, c
+			}
+		}
+		res.Predictions[k] = social.Label(bi)
+	})
+	res.Times.Phase3 = time.Since(t0)
+	return res, nil
+}
+
+// combineByAgreement labels every edge with the ablation rule: agreeing
+// endpoint communities decide directly; disagreements fall back to the
+// tightness-weighted sum of the two probability vectors.
+func (p *Pipeline) combineByAgreement(ds *social.Dataset, res *Result) {
+	res.Predictions = make(map[uint64]social.Label, ds.G.NumEdges())
+	res.Probabilities = make(map[uint64][]float64, ds.G.NumEdges())
+	ds.G.ForEachEdge(func(u, v graph.NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		cu, tu := res.Egos[v].CommunityOf(u)
+		cv, tv := res.Egos[u].CommunityOf(v)
+		blended := make([]float64, social.NumLabels)
+		total := 0.0
+		for c := 0; c < social.NumLabels; c++ {
+			blended[c] = tu*cu.Probs[c] + tv*cv.Probs[c]
+			total += blended[c]
+		}
+		if total > 0 {
+			for c := range blended {
+				blended[c] /= total
+			}
+		}
+		lu := social.Label(argmax(cu.Probs))
+		lv := social.Label(argmax(cv.Probs))
+		if lu == lv {
+			res.Predictions[k] = lu
+		} else {
+			res.Predictions[k] = social.Label(argmax(blended))
+		}
+		res.Probabilities[k] = blended
+	})
+}
+
+func argmax(x []float64) int {
+	best, bi := -1.0, 0
+	for i, v := range x {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// CommunitySizes returns the size of every detected local community —
+// Fig. 10(a)'s distribution.
+func (r *Result) CommunitySizes() []float64 {
+	out := make([]float64, len(r.Communities))
+	for i, c := range r.Communities {
+		out[i] = float64(len(c.Members))
+	}
+	return out
+}

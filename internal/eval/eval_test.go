@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locec/internal/social"
+)
+
+func TestEvaluatePerfect(t *testing.T) {
+	truth := []social.Label{social.Colleague, social.Family, social.Schoolmate, social.Colleague}
+	rep := Evaluate(truth, truth)
+	if rep.Overall.F1 != 1 || rep.Overall.Precision != 1 || rep.Overall.Recall != 1 {
+		t.Fatalf("perfect predictions scored %+v", rep.Overall)
+	}
+	for c := 0; c < social.NumLabels; c++ {
+		if rep.PerClass[c].F1 != 1 {
+			t.Fatalf("class %d F1 = %v", c, rep.PerClass[c].F1)
+		}
+	}
+}
+
+func TestEvaluateKnownConfusion(t *testing.T) {
+	truth := []social.Label{social.Colleague, social.Colleague, social.Family, social.Family}
+	pred := []social.Label{social.Colleague, social.Family, social.Family, social.Colleague}
+	rep := Evaluate(truth, pred)
+	// Each class: TP=1, FP=1, FN=1 -> P=R=F1=0.5.
+	for _, c := range []social.Label{social.Colleague, social.Family} {
+		m := rep.PerClass[c]
+		if m.Precision != 0.5 || m.Recall != 0.5 || m.F1 != 0.5 {
+			t.Fatalf("class %v metrics = %+v", c, m)
+		}
+	}
+	if rep.Overall.F1 != 0.5 {
+		t.Fatalf("overall F1 = %v", rep.Overall.F1)
+	}
+}
+
+func TestEvaluateAbstentionsHurtRecallOnly(t *testing.T) {
+	truth := []social.Label{social.Family, social.Family, social.Family, social.Family}
+	pred := []social.Label{social.Family, social.Family, social.Unlabeled, social.Unlabeled}
+	rep := Evaluate(truth, pred)
+	m := rep.PerClass[social.Family]
+	if m.Precision != 1.0 {
+		t.Fatalf("precision = %v, want 1 (abstentions are not false positives)", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Fatalf("recall = %v, want 0.5", m.Recall)
+	}
+}
+
+func TestEvaluateSkipsOtherTruth(t *testing.T) {
+	truth := []social.Label{social.Other, social.Family}
+	pred := []social.Label{social.Family, social.Family}
+	rep := Evaluate(truth, pred)
+	if rep.Overall.Support != 1 {
+		t.Fatalf("support = %d, want 1 (Other skipped)", rep.Overall.Support)
+	}
+	if rep.PerClass[social.Family].Precision != 1 {
+		t.Fatal("prediction on Other-truth instance must not count")
+	}
+}
+
+func TestEvaluatePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([]social.Label{social.Family}, nil)
+}
+
+func TestMetricsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%50) + 1
+		if n < 0 {
+			n = -n + 1
+		}
+		truth := make([]social.Label, n)
+		pred := make([]social.Label, n)
+		s := seed
+		for i := 0; i < n; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			truth[i] = social.Label(uint64(s) % 4) // includes Other
+			s = s*6364136223846793005 + 1442695040888963407
+			pred[i] = social.Label(int(uint64(s)%4) - 1) // includes Unlabeled
+		}
+		rep := Evaluate(truth, pred)
+		check := func(m ClassMetrics) bool {
+			return m.Precision >= 0 && m.Precision <= 1 &&
+				m.Recall >= 0 && m.Recall <= 1 &&
+				m.F1 >= 0 && m.F1 <= 1 && !math.IsNaN(m.F1)
+		}
+		if !check(rep.Overall) {
+			return false
+		}
+		for c := 0; c < social.NumLabels; c++ {
+			if !check(rep.PerClass[c]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	train, test := Split(keys, 0.8, 42)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range train {
+		seen[k] = true
+	}
+	for _, k := range test {
+		if seen[k] {
+			t.Fatal("train/test overlap")
+		}
+		seen[k] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("split lost keys")
+	}
+	// Deterministic.
+	train2, _ := Split(keys, 0.8, 42)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := c.At(2); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("At(2) = %v, want 0.6", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if q := c.Quantile(0.5); q != 2 {
+		t.Fatalf("median = %v", q)
+	}
+	// Monotone property.
+	prev := -1.0
+	for x := 0.0; x <= 11; x += 0.5 {
+		v := c.At(x)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestReportString(t *testing.T) {
+	truth := []social.Label{social.Family}
+	rep := Evaluate(truth, truth)
+	s := rep.String()
+	if len(s) == 0 {
+		t.Fatal("empty report string")
+	}
+}

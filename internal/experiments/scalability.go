@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"locec/internal/cluster"
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// ---------------------------------------------------------------------------
+// Table VI — running time of LoCEC-CNN by phase
+// ---------------------------------------------------------------------------
+
+// Table6Result is the per-phase wall-clock of one full pipeline run.
+type Table6Result struct {
+	Times core.PhaseTimes
+	Nodes int
+	Edges int
+}
+
+// Table6 runs the full LoCEC-CNN pipeline and reports the phase breakdown
+// (paper: Phase I dominates with ~63% of total, then Phase II, Phase III).
+func Table6(opt Options) (*Table6Result, error) {
+	opt.fill()
+	net, err := surveyedNetwork(opt)
+	if err != nil {
+		return nil, err
+	}
+	cnn := newLoCECCNN(opt)
+	if err := cnn.Fit(net.Dataset); err != nil {
+		return nil, err
+	}
+	return &Table6Result{
+		Times: cnn.Result().Times,
+		Nodes: net.Dataset.G.NumNodes(),
+		Edges: net.Dataset.G.NumEdges(),
+	}, nil
+}
+
+// String renders the timing table.
+func (r *Table6Result) String() string {
+	t := r.Times
+	return fmt.Sprintf(
+		"Table VI: running time of LoCEC-CNN (%d nodes, %d edges)\n"+
+			"%-10s %-10s %-10s %-10s %-10s\n"+
+			"%-10s %-10s %-10s %-10s %-10s\n",
+		r.Nodes, r.Edges,
+		"Training", "Phase I", "Phase II", "Phase III", "Total",
+		round(t.Training), round(t.Phase1), round(t.Phase2), round(t.Phase3), round(t.Total()))
+}
+
+func round(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// ---------------------------------------------------------------------------
+// Fig. 12(a) — run time vs number of input nodes
+// ---------------------------------------------------------------------------
+
+// Fig12aResult pairs locally-measured scaling points with the modeled
+// WeChat-scale extrapolation.
+type Fig12aResult struct {
+	// LocalNodes / LocalTimes are measured full-pipeline runs.
+	LocalNodes []int
+	LocalTimes []core.PhaseTimes
+	// ModelNodes / ModelHours extrapolate per-node costs to the paper's
+	// 100M–1B node x-axis on ModelServers servers.
+	ModelNodes   []int
+	ModelServers int
+	// ModelHours[i] is the modeled per-phase runtime in hours.
+	ModelHours [][3]float64
+}
+
+// Fig12a measures pipeline time at increasing local node counts, fits the
+// per-node cost model, and extrapolates to the paper's scale. Paper shape:
+// all phases grow linearly in the input size.
+func Fig12a(opt Options) (*Fig12aResult, error) {
+	opt.fill()
+	scales := []int{1, 2, 4}
+	res := &Fig12aResult{ModelServers: 100}
+	var lastTimes core.PhaseTimes
+	var lastNodes int
+	for _, s := range scales {
+		sopt := opt
+		sopt.Users = opt.Users * s
+		net, err := surveyedNetwork(sopt)
+		if err != nil {
+			return nil, err
+		}
+		cnn := newLoCECCNN(sopt)
+		if err := cnn.Fit(net.Dataset); err != nil {
+			return nil, err
+		}
+		res.LocalNodes = append(res.LocalNodes, sopt.Users)
+		res.LocalTimes = append(res.LocalTimes, cnn.Result().Times)
+		lastTimes = cnn.Result().Times
+		lastNodes = sopt.Users
+	}
+	// Per-node cost model from the largest measured run.
+	model := cluster.CostModel{PerNode: [3]time.Duration{
+		lastTimes.Phase1 / time.Duration(lastNodes),
+		lastTimes.Phase2 / time.Duration(lastNodes),
+		lastTimes.Phase3 / time.Duration(lastNodes),
+	}}
+	for _, nodes := range []int{100e6, 200e6, 500e6, 1000e6} {
+		t := model.Predict(nodes, res.ModelServers)
+		res.ModelNodes = append(res.ModelNodes, nodes)
+		res.ModelHours = append(res.ModelHours, [3]float64{
+			t[0].Hours(), t[1].Hours(), t[2].Hours(),
+		})
+	}
+	return res, nil
+}
+
+// String renders both halves.
+func (r *Fig12aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12(a): run time vs number of input nodes\n")
+	b.WriteString("  measured locally (full pipeline):\n")
+	for i, n := range r.LocalNodes {
+		t := r.LocalTimes[i]
+		fmt.Fprintf(&b, "  %8d nodes: phase1=%-10s phase2=%-10s phase3=%-10s\n",
+			n, round(t.Phase1), round(t.Phase2), round(t.Phase3))
+	}
+	fmt.Fprintf(&b, "  modeled at WeChat scale (%d servers):\n", r.ModelServers)
+	for i, n := range r.ModelNodes {
+		h := r.ModelHours[i]
+		fmt.Fprintf(&b, "  %8dM nodes: phase1=%.1fh phase2=%.1fh phase3=%.1fh\n",
+			n/1e6, h[0], h[1], h[2])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12(b) — run time vs number of servers
+// ---------------------------------------------------------------------------
+
+// Fig12bResult holds per-server-count makespans from replaying measured
+// per-node costs, plus the modeled WeChat-scale numbers.
+type Fig12bResult struct {
+	Servers []int
+	// ReplayMakespans replays the locally measured Phase I per-node costs
+	// onto each virtual fleet size.
+	ReplayMakespans []time.Duration
+	// ModelHours models the full WeChat-scale phases per fleet size.
+	ModelHours [][3]float64
+	ModelNodes int
+}
+
+// Fig12b measures real per-node Phase I costs, then replays them across
+// virtual fleets (paper shape: time inversely proportional to servers).
+func Fig12b(opt Options) (*Fig12bResult, error) {
+	opt.fill()
+	net, err := surveyedNetwork(opt)
+	if err != nil {
+		return nil, err
+	}
+	ds := net.Dataset
+	n := ds.G.NumNodes()
+	costs := make([]time.Duration, n)
+	rep := cluster.Streamed(n, 1, func(i int) {
+		t0 := time.Now()
+		divideProbe(ds, graph.NodeID(i), opt.Seed)
+		costs[i] = time.Since(t0)
+	})
+	_ = rep
+	res := &Fig12bResult{ModelNodes: 1000e6}
+	meanCost := time.Duration(0)
+	for _, c := range costs {
+		meanCost += c
+	}
+	meanCost /= time.Duration(n)
+	model := cluster.CostModel{PerNode: [3]time.Duration{meanCost, meanCost / 3, meanCost / 6}}
+	for _, s := range []int{100, 150, 200} {
+		res.Servers = append(res.Servers, s)
+		res.ReplayMakespans = append(res.ReplayMakespans, cluster.Replay(costs, s).Makespan)
+		t := model.Predict(res.ModelNodes, s)
+		res.ModelHours = append(res.ModelHours, [3]float64{t[0].Hours(), t[1].Hours(), t[2].Hours()})
+	}
+	return res, nil
+}
+
+// divideProbe runs Phase I for a single ego (the per-node unit of work).
+func divideProbe(ds *social.Dataset, u graph.NodeID, seed int64) {
+	sub := core.Divide1(ds, u, core.DivisionConfig{Seed: seed})
+	_ = sub
+}
+
+// String renders the series.
+func (r *Fig12bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12(b): run time vs number of servers\n")
+	for i, s := range r.Servers {
+		h := r.ModelHours[i]
+		fmt.Fprintf(&b, "  %4d servers: replayed phase1 makespan=%-12s modeled@1B: phase1=%.1fh phase2=%.1fh phase3=%.1fh\n",
+			s, r.ReplayMakespans[i].Round(time.Millisecond), h[0], h[1], h[2])
+	}
+	return b.String()
+}

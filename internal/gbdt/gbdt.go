@@ -1,0 +1,320 @@
+// Package gbdt implements an XGBoost-style gradient boosted decision tree
+// learner (Chen & Guestrin 2016): second-order gradient statistics, exact
+// greedy split finding with the regularized gain formula, shrinkage, and
+// row/column subsampling. Multi-class problems use the softmax objective
+// with one regression tree per class per round.
+//
+// Besides class probabilities, the model exposes the per-tree leaf values
+// for an input — the "community embedding" LoCEC-XGB feeds to its edge
+// classifier, following the paper's reference to He et al. (ADKDD 2014).
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"locec/internal/tensor"
+)
+
+// Config controls training.
+type Config struct {
+	Rounds         int     // boosting rounds (default 30)
+	MaxDepth       int     // maximum tree depth (default 4)
+	LearningRate   float64 // shrinkage eta (default 0.2)
+	Lambda         float64 // L2 regularization on leaf weights (default 1)
+	Gamma          float64 // minimum split gain (default 0)
+	MinChildWeight float64 // minimum hessian sum per child (default 1e-3)
+	Subsample      float64 // row subsample ratio per tree (default 1)
+	ColSample      float64 // column subsample ratio per tree (default 1)
+	Classes        int     // number of classes (required, >= 2)
+	Seed           int64   // drives subsampling
+}
+
+func (c *Config) defaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.2
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	if c.MinChildWeight <= 0 {
+		c.MinChildWeight = 1e-3
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 1
+	}
+	if c.ColSample <= 0 || c.ColSample > 1 {
+		c.ColSample = 1
+	}
+}
+
+// node is one tree node; leaves have Feature == -1.
+type node struct {
+	Feature     int     // split feature, or -1 for leaf
+	Threshold   float64 // go left if x[Feature] < Threshold
+	Left, Right int     // child indices within the tree's node slice
+	Value       float64 // leaf value (already scaled by learning rate)
+}
+
+// Tree is a single regression tree.
+type Tree struct {
+	Nodes []node
+}
+
+// predict returns the leaf value and leaf node index for x.
+func (t *Tree) predict(x []float64) (float64, int) {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value, i
+		}
+		if x[n.Feature] < n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	cfg      Config
+	features int
+	trees    [][]*Tree // [round][class]
+}
+
+// NumFeatures returns the feature dimensionality seen at training time.
+func (m *Model) NumFeatures() int { return m.features }
+
+// NumTrees returns the total number of trees (rounds × classes).
+func (m *Model) NumTrees() int {
+	n := 0
+	for _, r := range m.trees {
+		n += len(r)
+	}
+	return n
+}
+
+// Train fits the ensemble to feature rows X and labels y in [0, Classes).
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	cfg.defaults()
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("gbdt: Classes must be >= 2, got %d", cfg.Classes)
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("gbdt: bad training set (%d rows, %d labels)", len(X), len(y))
+	}
+	nf := len(X[0])
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("gbdt: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	for i, l := range y {
+		if l < 0 || l >= cfg.Classes {
+			return nil, fmt.Errorf("gbdt: label %d out of range at row %d", l, i)
+		}
+	}
+	n := len(X)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	margins := make([][]float64, n) // per-sample per-class raw scores
+	for i := range margins {
+		margins[i] = make([]float64, cfg.Classes)
+	}
+	probs := make([]float64, cfg.Classes)
+	grad := make([][]float64, cfg.Classes)
+	hess := make([][]float64, cfg.Classes)
+	for c := 0; c < cfg.Classes; c++ {
+		grad[c] = make([]float64, n)
+		hess[c] = make([]float64, n)
+	}
+	m := &Model{cfg: cfg, features: nf}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Softmax gradients/hessians from current margins.
+		for i := 0; i < n; i++ {
+			tensor.Softmax(margins[i], probs)
+			for c := 0; c < cfg.Classes; c++ {
+				t := 0.0
+				if y[i] == c {
+					t = 1
+				}
+				grad[c][i] = probs[c] - t
+				hess[c][i] = math.Max(probs[c]*(1-probs[c]), 1e-12)
+			}
+		}
+		// Row subsample (shared across the round's class trees).
+		rows := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if cfg.Subsample >= 1 || rng.Float64() < cfg.Subsample {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) == 0 {
+			rows = append(rows, rng.Intn(n))
+		}
+		// Column subsample.
+		cols := make([]int, 0, nf)
+		for f := 0; f < nf; f++ {
+			if cfg.ColSample >= 1 || rng.Float64() < cfg.ColSample {
+				cols = append(cols, f)
+			}
+		}
+		if len(cols) == 0 {
+			cols = append(cols, rng.Intn(nf))
+		}
+		roundTrees := make([]*Tree, cfg.Classes)
+		for c := 0; c < cfg.Classes; c++ {
+			t := buildTree(X, grad[c], hess[c], rows, cols, cfg)
+			roundTrees[c] = t
+			for i := 0; i < n; i++ {
+				v, _ := t.predict(X[i])
+				margins[i][c] += v
+			}
+		}
+		m.trees = append(m.trees, roundTrees)
+	}
+	return m, nil
+}
+
+type builder struct {
+	X     [][]float64
+	grad  []float64
+	hess  []float64
+	cols  []int
+	cfg   Config
+	nodes []node
+}
+
+func buildTree(X [][]float64, grad, hess []float64, rows, cols []int, cfg Config) *Tree {
+	b := &builder{X: X, grad: grad, hess: hess, cols: cols, cfg: cfg}
+	b.split(rows, 0)
+	return &Tree{Nodes: b.nodes}
+}
+
+// split grows the subtree over the given sample rows and returns its node
+// index.
+func (b *builder) split(rows []int, depth int) int {
+	var G, H float64
+	for _, i := range rows {
+		G += b.grad[i]
+		H += b.hess[i]
+	}
+	leafValue := -G / (H + b.cfg.Lambda) * b.cfg.LearningRate
+	idx := len(b.nodes)
+	b.nodes = append(b.nodes, node{Feature: -1, Value: leafValue})
+	if depth >= b.cfg.MaxDepth || len(rows) < 2 {
+		return idx
+	}
+	bestGain := b.cfg.Gamma
+	bestFeat := -1
+	bestThresh := 0.0
+	parentScore := G * G / (H + b.cfg.Lambda)
+	type fv struct {
+		v   float64
+		row int
+	}
+	vals := make([]fv, 0, len(rows))
+	for _, f := range b.cols {
+		vals = vals[:0]
+		for _, i := range rows {
+			vals = append(vals, fv{b.X[i][f], i})
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		var GL, HL float64
+		for k := 0; k < len(vals)-1; k++ {
+			GL += b.grad[vals[k].row]
+			HL += b.hess[vals[k].row]
+			if vals[k].v == vals[k+1].v {
+				continue // cannot split between equal values
+			}
+			GR, HR := G-GL, H-HL
+			if HL < b.cfg.MinChildWeight || HR < b.cfg.MinChildWeight {
+				continue
+			}
+			gain := 0.5 * (GL*GL/(HL+b.cfg.Lambda) + GR*GR/(HR+b.cfg.Lambda) - parentScore)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return idx
+	}
+	var left, right []int
+	for _, i := range rows {
+		if b.X[i][bestFeat] < bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return idx
+	}
+	li := b.split(left, depth+1)
+	ri := b.split(right, depth+1)
+	b.nodes[idx] = node{Feature: bestFeat, Threshold: bestThresh, Left: li, Right: ri}
+	return idx
+}
+
+// Margins returns the raw per-class boosted scores for x.
+func (m *Model) Margins(x []float64) []float64 {
+	out := make([]float64, m.cfg.Classes)
+	for _, round := range m.trees {
+		for c, t := range round {
+			v, _ := t.predict(x)
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// PredictProba returns softmax class probabilities for x.
+func (m *Model) PredictProba(x []float64) []float64 {
+	margins := m.Margins(x)
+	out := make([]float64, len(margins))
+	tensor.Softmax(margins, out)
+	return out
+}
+
+// Predict returns the argmax class for x.
+func (m *Model) Predict(x []float64) int {
+	return tensor.ArgMax(m.Margins(x))
+}
+
+// LeafValues returns the concatenated leaf values reached by x in every
+// tree (rounds × classes values, in round-major order). This is the
+// GBDT-as-feature-transform embedding of He et al. used by LoCEC-XGB.
+func (m *Model) LeafValues(x []float64) []float64 {
+	out := make([]float64, 0, len(m.trees)*m.cfg.Classes)
+	for _, round := range m.trees {
+		for _, t := range round {
+			v, _ := t.predict(x)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LeafIndices returns the leaf node index reached by x in every tree.
+func (m *Model) LeafIndices(x []float64) []int {
+	out := make([]int, 0, len(m.trees)*m.cfg.Classes)
+	for _, round := range m.trees {
+		for _, t := range round {
+			_, i := t.predict(x)
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonModel is the serialized form of a trained ensemble.
+type jsonModel struct {
+	Config   Config   `json:"config"`
+	Features int      `json:"features"`
+	Trees    [][]Tree `json:"trees"`
+}
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	doc := jsonModel{Config: m.cfg, Features: m.features}
+	for _, round := range m.trees {
+		row := make([]Tree, len(round))
+		for i, t := range round {
+			row[i] = *t
+		}
+		doc.Trees = append(doc.Trees, row)
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var doc jsonModel
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("gbdt: load: %w", err)
+	}
+	if doc.Config.Classes < 2 || doc.Features <= 0 {
+		return nil, fmt.Errorf("gbdt: load: invalid model header (classes=%d, features=%d)",
+			doc.Config.Classes, doc.Features)
+	}
+	m := &Model{cfg: doc.Config, features: doc.Features}
+	for ri, round := range doc.Trees {
+		if len(round) != doc.Config.Classes {
+			return nil, fmt.Errorf("gbdt: load: round %d has %d trees, want %d", ri, len(round), doc.Config.Classes)
+		}
+		row := make([]*Tree, len(round))
+		for i := range round {
+			t := round[i]
+			if err := validateTree(&t); err != nil {
+				return nil, fmt.Errorf("gbdt: load: round %d tree %d: %w", ri, i, err)
+			}
+			row[i] = &t
+		}
+		m.trees = append(m.trees, row)
+	}
+	return m, nil
+}
+
+// validateTree checks child indices so a corrupted file cannot cause
+// out-of-range panics or infinite traversals at prediction time.
+func validateTree(t *Tree) error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("empty tree")
+	}
+	for i, n := range t.Nodes {
+		if n.Feature < 0 {
+			continue // leaf
+		}
+		// Children must exist and point strictly forward (the builder
+		// appends children after their parent).
+		if n.Left <= i || n.Right <= i || n.Left >= len(t.Nodes) || n.Right >= len(t.Nodes) {
+			return fmt.Errorf("node %d has invalid children (%d, %d)", i, n.Left, n.Right)
+		}
+	}
+	return nil
+}

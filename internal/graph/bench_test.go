@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < n*degree/2; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	type e struct{ u, v NodeID }
+	edges := make([]e, 0, 80000)
+	for i := 0; i < 80000; i++ {
+		u, v := NodeID(rng.Intn(10000)), NodeID(rng.Intn(10000))
+		if u != v {
+			edges = append(edges, e{u, v})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb := NewBuilder(10000)
+		for _, ed := range edges {
+			_ = bb.AddEdge(ed.u, ed.v)
+		}
+		bb.Build()
+	}
+}
+
+func BenchmarkEgoExtraction(b *testing.B) {
+	g := randomGraph(5000, 16, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ego(NodeID(i % g.NumNodes()))
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := randomGraph(5000, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(i % g.NumNodes())
+		v := NodeID((i * 7) % g.NumNodes())
+		g.HasEdge(u, v)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := randomGraph(5000, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}

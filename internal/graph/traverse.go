@@ -1,0 +1,79 @@
+package graph
+
+// BFS performs a breadth-first traversal from src, invoking visit for each
+// reached node with its hop distance. Traversal stops early if visit
+// returns false.
+func (g *Graph) BFS(src NodeID, visit func(v NodeID, depth int) bool) {
+	n := g.NumNodes()
+	if int(src) >= n {
+		return
+	}
+	seen := make([]bool, n)
+	type qe struct {
+		v NodeID
+		d int
+	}
+	queue := make([]qe, 0, 64)
+	queue = append(queue, qe{src, 0})
+	seen[src] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.v, cur.d) {
+			return
+		}
+		for _, w := range g.Neighbors(cur.v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, qe{w, cur.d + 1})
+			}
+		}
+	}
+}
+
+// ConnectedComponents labels every node with a component ID in [0, count)
+// and returns the labels plus the component count. Isolated nodes form
+// singleton components.
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	n := g.NumNodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]NodeID, 0, 64)
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = count
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] == -1 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if d := g.Degree(NodeID(u)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := 0; u < n; u++ {
+		counts[g.Degree(NodeID(u))]++
+	}
+	return counts
+}

@@ -1,0 +1,45 @@
+// Package groupname implements the paper's rule-based group-name mining
+// (Section II-B, Table II): chat group names matching type-indicating
+// patterns ("X Department in X Company", "Class X in X Middle School",
+// family-name groups) label every friend pair inside the group with the
+// implied relationship. Precision is high but recall tiny, because most
+// groups carry no indicative name — the observation that motivates LoCEC.
+package groupname
+
+import (
+	"regexp"
+
+	"locec/internal/social"
+)
+
+// rule maps a compiled name pattern to the relationship it implies.
+type rule struct {
+	re    *regexp.Regexp
+	label social.Label
+}
+
+var rules = []rule{
+	{regexp.MustCompile(`(?i)\bfamily\b`), social.Family},
+	{regexp.MustCompile(`(?i)\bhouse of\b`), social.Family},
+	{regexp.MustCompile(`(?i)\bdept\b|\bdepartment\b`), social.Colleague},
+	{regexp.MustCompile(`(?i)\bcompany\b`), social.Colleague},
+	{regexp.MustCompile(`(?i)\bproject team\b`), social.Colleague},
+	{regexp.MustCompile(`(?i)\bclass\b`), social.Schoolmate},
+	{regexp.MustCompile(`(?i)\bschool\b|\buniversity\b`), social.Schoolmate},
+}
+
+// Classify returns the relationship implied by a group name, or Unlabeled
+// when no rule matches. Rules are ordered; the first match wins (school
+// patterns lose to company patterns only if both match, which the rule
+// order resolves deterministically).
+func Classify(name string) social.Label {
+	if name == "" {
+		return social.Unlabeled
+	}
+	for _, r := range rules {
+		if r.re.MatchString(name) {
+			return r.label
+		}
+	}
+	return social.Unlabeled
+}

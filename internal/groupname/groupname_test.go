@@ -1,0 +1,37 @@
+package groupname
+
+import (
+	"testing"
+
+	"locec/internal/social"
+)
+
+func TestClassifyPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		want social.Label
+	}{
+		{"Zhang Family", social.Family},
+		{"House of Li", social.Family},
+		{"Gold Dept", social.Colleague},
+		{"Red Company 3 Dept", social.Colleague},
+		{"Star Project Team", social.Colleague},
+		{"Class 4 of Lake Middle School", social.Schoolmate},
+		{"Pine University Class 2", social.Schoolmate},
+		{"Class of 9", social.Schoolmate},
+		{"Weekend Fun", social.Unlabeled},
+		{"", social.Unlabeled},
+		{"The Gang", social.Unlabeled},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCaseInsensitive(t *testing.T) {
+	if Classify("zhang FAMILY group") != social.Family {
+		t.Fatal("case-insensitive match failed")
+	}
+}

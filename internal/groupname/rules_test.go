@@ -1,0 +1,34 @@
+package groupname
+
+import (
+	"testing"
+
+	"locec/internal/social"
+)
+
+func TestRuleOrderResolvesAmbiguity(t *testing.T) {
+	// Names matching multiple patterns resolve deterministically by rule
+	// order: family first, then work, then school.
+	cases := []struct {
+		name string
+		want social.Label
+	}{
+		{"Zhang Family Company", social.Family},   // family outranks company
+		{"Red Company Class 3", social.Colleague}, // company outranks class
+		{"Hill School Dept", social.Colleague},    // dept outranks school
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	// Substrings inside larger words must not match.
+	for _, name := range []string{"Familyless reunion", "Unclassifiable", "the deptford crew"} {
+		if got := Classify(name); got != social.Unlabeled {
+			t.Errorf("Classify(%q) = %v, want Unlabeled", name, got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package logreg implements multinomial (softmax) logistic regression, the
+// classifier LoCEC's Phase III uses to combine the two endpoint communities'
+// classification results into a final edge label (Eq. 4 of the paper).
+package logreg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"locec/internal/tensor"
+)
+
+// Config controls training.
+type Config struct {
+	Classes   int     // required, >= 2
+	Epochs    int     // default 100
+	BatchSize int     // default 32
+	LR        float64 // default 0.1
+	L2        float64 // weight decay (default 1e-4)
+	Seed      int64
+}
+
+func (c *Config) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+}
+
+// Model is a trained softmax regression classifier.
+type Model struct {
+	Classes  int
+	Features int
+	// W is Classes×(Features+1); the last column is the bias.
+	W []float64
+}
+
+// Train fits the model with mini-batch SGD on the softmax cross-entropy.
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	cfg.defaults()
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("logreg: Classes must be >= 2, got %d", cfg.Classes)
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("logreg: bad training set (%d rows, %d labels)", len(X), len(y))
+	}
+	nf := len(X[0])
+	for i, l := range y {
+		if l < 0 || l >= cfg.Classes {
+			return nil, fmt.Errorf("logreg: label %d out of range at row %d", l, i)
+		}
+	}
+	m := &Model{Classes: cfg.Classes, Features: nf, W: make([]float64, cfg.Classes*(nf+1))}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	grads := make([]float64, len(m.W))
+	probs := make([]float64, cfg.Classes)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for i := range grads {
+				grads[i] = 0
+			}
+			for _, i := range idx[start:end] {
+				m.logits(X[i], probs)
+				tensor.Softmax(probs, probs)
+				for c := 0; c < cfg.Classes; c++ {
+					g := probs[c]
+					if y[i] == c {
+						g -= 1
+					}
+					base := c * (nf + 1)
+					for f, v := range X[i] {
+						grads[base+f] += g * v
+					}
+					grads[base+nf] += g // bias
+				}
+			}
+			scale := cfg.LR / float64(end-start)
+			for i := range m.W {
+				m.W[i] -= scale*grads[i] + cfg.LR*cfg.L2*m.W[i]
+			}
+		}
+	}
+	return m, nil
+}
+
+// logits writes raw class scores for x into out.
+func (m *Model) logits(x []float64, out []float64) {
+	nf := m.Features
+	for c := 0; c < m.Classes; c++ {
+		base := c * (nf + 1)
+		s := m.W[base+nf]
+		for f, v := range x {
+			s += m.W[base+f] * v
+		}
+		out[c] = s
+	}
+}
+
+// PredictProba returns class probabilities for x.
+func (m *Model) PredictProba(x []float64) []float64 {
+	if len(x) != m.Features {
+		panic(fmt.Sprintf("logreg: expected %d features, got %d", m.Features, len(x)))
+	}
+	out := make([]float64, m.Classes)
+	m.logits(x, out)
+	tensor.Softmax(out, out)
+	return out
+}
+
+// Predict returns the argmax class for x.
+func (m *Model) Predict(x []float64) int {
+	return tensor.ArgMax(m.PredictProba(x))
+}
+
+// LogLoss computes mean cross-entropy over a dataset — a convergence probe
+// for tests.
+func (m *Model) LogLoss(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, x := range X {
+		p := m.PredictProba(x)
+		total += -math.Log(math.Max(p[y[i]], 1e-12))
+	}
+	return total / float64(len(X))
+}

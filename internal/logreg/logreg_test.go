@@ -1,0 +1,123 @@
+package logreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func blobs(n, classes int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(classes)
+		row := make([]float64, classes)
+		for d := range row {
+			row[d] = rng.NormFloat64() * 0.4
+		}
+		row[c] += 2.5
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{Classes: 2}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0}, Config{Classes: 1}); err == nil {
+		t.Fatal("Classes=1 accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{3}, Config{Classes: 2}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	X, y := blobs(240, 3, 1)
+	m, err := Train(X, y, Config{Classes: 3, Epochs: 60, LR: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	X, y := blobs(150, 3, 3)
+	short, err := Train(X, y, Config{Classes: 3, Epochs: 2, LR: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(X, y, Config{Classes: 3, Epochs: 80, LR: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LogLoss(X, y) >= short.LogLoss(X, y) {
+		t.Fatalf("more epochs did not reduce loss: %.4f vs %.4f",
+			long.LogLoss(X, y), short.LogLoss(X, y))
+	}
+}
+
+func TestProbabilitiesValidProperty(t *testing.T) {
+	X, y := blobs(100, 3, 5)
+	m, err := Train(X, y, Config{Classes: 3, Epochs: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Max(-100, math.Min(100, v))
+		}
+		p := m.PredictProba([]float64{clamp(a), clamp(b), clamp(c)})
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	X, y := blobs(120, 3, 7)
+	m1, _ := Train(X, y, Config{Classes: 3, Epochs: 10, Seed: 8})
+	m2, _ := Train(X, y, Config{Classes: 3, Epochs: 10, Seed: 8})
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestPredictProbaPanicsOnBadWidth(t *testing.T) {
+	X, y := blobs(60, 2, 9)
+	m, err := Train(X, y, Config{Classes: 2, Epochs: 5, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong feature width")
+		}
+	}()
+	m.PredictProba([]float64{1})
+}

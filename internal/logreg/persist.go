@@ -1,0 +1,27 @@
+package logreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("logreg: load: %w", err)
+	}
+	if m.Classes < 2 || m.Features <= 0 {
+		return nil, fmt.Errorf("logreg: load: invalid header (classes=%d, features=%d)", m.Classes, m.Features)
+	}
+	if len(m.W) != m.Classes*(m.Features+1) {
+		return nil, fmt.Errorf("logreg: load: weight length %d, want %d", len(m.W), m.Classes*(m.Features+1))
+	}
+	return &m, nil
+}

@@ -1,0 +1,45 @@
+package logreg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(150, 3, 11)
+	m, err := Train(X, y, Config{Classes: 3, Epochs: 20, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:30] {
+		a, b := m.PredictProba(x), m2.PredictProba(x)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatal("loaded model diverges")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`broken`,
+		`{"Classes":1,"Features":3,"W":[1,2,3,4]}`,
+		`{"Classes":2,"Features":0,"W":[]}`,
+		`{"Classes":2,"Features":3,"W":[1,2]}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package minhash implements min-wise independent permutation signatures
+// over node neighbor sets. ProbWP (Aggarwal et al., ICDE 2016) uses them to
+// estimate the Jaccard structural similarity between nodes cheaply; the
+// paper configures 20 hash functions, which we keep as the default.
+package minhash
+
+import (
+	"math"
+	"math/rand"
+
+	"locec/internal/graph"
+)
+
+// DefaultHashes is the signature length used by ProbWP in the paper.
+const DefaultHashes = 20
+
+// Signatures holds a fixed-length min-hash signature per node.
+type Signatures struct {
+	H    int
+	sigs [][]uint64 // n × H
+}
+
+// mersenne61 is the modulus for the universal hash family h(x) = (a·x+b) mod p.
+const mersenne61 = (1 << 61) - 1
+
+// New computes signatures for every node's neighbor set, using h hash
+// functions drawn deterministically from seed. Nodes with empty neighbor
+// sets receive all-max signatures (similarity 0 to everything).
+func New(g *graph.Graph, h int, seed int64) *Signatures {
+	if h <= 0 {
+		h = DefaultHashes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	as := make([]uint64, h)
+	bs := make([]uint64, h)
+	for i := 0; i < h; i++ {
+		as[i] = uint64(rng.Int63n(mersenne61-1)) + 1 // a in [1, p-1]
+		bs[i] = uint64(rng.Int63n(mersenne61))       // b in [0, p-1]
+	}
+	n := g.NumNodes()
+	s := &Signatures{H: h, sigs: make([][]uint64, n)}
+	for u := 0; u < n; u++ {
+		sig := make([]uint64, h)
+		for i := range sig {
+			sig[i] = math.MaxUint64
+		}
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			x := uint64(v) + 1
+			for i := 0; i < h; i++ {
+				hv := mulmod61(as[i], x) + bs[i]
+				if hv >= mersenne61 {
+					hv -= mersenne61
+				}
+				if hv < sig[i] {
+					sig[i] = hv
+				}
+			}
+		}
+		s.sigs[u] = sig
+	}
+	return s
+}
+
+// mulmod61 computes (a*b) mod 2^61-1 without overflow using 128-bit
+// decomposition.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// x mod (2^61-1): fold the high bits down.
+	r := (lo & mersenne61) + (lo >> 61) + (hi << 3 & mersenne61) + (hi >> 58)
+	for r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Similarity estimates the Jaccard similarity of the neighbor sets of u and
+// v as the fraction of matching signature components.
+func (s *Signatures) Similarity(u, v graph.NodeID) float64 {
+	su, sv := s.sigs[u], s.sigs[v]
+	match := 0
+	for i := range su {
+		if su[i] == sv[i] && su[i] != math.MaxUint64 {
+			match++
+		}
+	}
+	return float64(match) / float64(s.H)
+}

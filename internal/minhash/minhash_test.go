@@ -1,0 +1,100 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/graph"
+)
+
+func TestIdenticalNeighborhoodsSimilarityOne(t *testing.T) {
+	// Nodes 0 and 1 both connect to exactly {2,3,4}.
+	b := graph.NewBuilder(5)
+	for _, v := range []graph.NodeID{2, 3, 4} {
+		_ = b.AddEdge(0, v)
+		_ = b.AddEdge(1, v)
+	}
+	g := b.Build()
+	s := New(g, 20, 1)
+	if sim := s.Similarity(0, 1); sim != 1 {
+		t.Fatalf("identical neighborhoods similarity = %v, want 1", sim)
+	}
+}
+
+func TestDisjointNeighborhoodsSimilarityZero(t *testing.T) {
+	b := graph.NewBuilder(6)
+	_ = b.AddEdge(0, 2)
+	_ = b.AddEdge(0, 3)
+	_ = b.AddEdge(1, 4)
+	_ = b.AddEdge(1, 5)
+	g := b.Build()
+	s := New(g, 30, 2)
+	if sim := s.Similarity(0, 1); sim != 0 {
+		t.Fatalf("disjoint neighborhoods similarity = %v, want 0", sim)
+	}
+}
+
+func TestEmptyNeighborhoodSimilarityZero(t *testing.T) {
+	b := graph.NewBuilder(3)
+	_ = b.AddEdge(0, 1)
+	g := b.Build()
+	s := New(g, 20, 3)
+	if sim := s.Similarity(0, 2); sim != 0 {
+		t.Fatalf("empty neighborhood similarity = %v, want 0", sim)
+	}
+	if sim := s.Similarity(2, 2); sim != 0 {
+		t.Fatalf("two empty sets similarity = %v (all-max sentinel must not match)", sim)
+	}
+}
+
+func TestSimilarityApproximatesJaccard(t *testing.T) {
+	// Nodes 0 and 1 share 3 of 5 total distinct neighbors: J = 3/7?
+	// 0 -> {2,3,4,5}, 1 -> {3,4,5,6}: intersection 3, union 5, J = 0.6.
+	b := graph.NewBuilder(7)
+	for _, v := range []graph.NodeID{2, 3, 4, 5} {
+		_ = b.AddEdge(0, v)
+	}
+	for _, v := range []graph.NodeID{3, 4, 5, 6} {
+		_ = b.AddEdge(1, v)
+	}
+	g := b.Build()
+	// Average over many hash families to verify the estimator is unbiased.
+	sum := 0.0
+	const families = 60
+	for seed := int64(0); seed < families; seed++ {
+		s := New(g, 20, seed)
+		sum += s.Similarity(0, 1)
+	}
+	avg := sum / families
+	if math.Abs(avg-0.6) > 0.08 {
+		t.Fatalf("mean similarity = %.3f, want ~0.6", avg)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := graph.NodeID(1); i < 10; i++ {
+		_ = b.AddEdge(0, i)
+		if i > 1 {
+			_ = b.AddEdge(i-1, i)
+		}
+	}
+	g := b.Build()
+	a := New(g, 20, 9)
+	c := New(g, 20, 9)
+	for u := graph.NodeID(0); u < 10; u++ {
+		for v := graph.NodeID(0); v < 10; v++ {
+			if a.Similarity(u, v) != c.Similarity(u, v) {
+				t.Fatal("minhash not deterministic")
+			}
+		}
+	}
+}
+
+func TestDefaultHashCount(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	s := New(g, 0, 1)
+	if s.H != DefaultHashes {
+		t.Fatalf("H = %d, want %d", s.H, DefaultHashes)
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"locec/internal/tensor"
+)
+
+func benchInput(k, f int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.NewTensor(1, k, f)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return x
+}
+
+func BenchmarkCommCNNForward(b *testing.B) {
+	net, err := NewCommCNN(CommCNNConfig{K: 20, Features: 13, Classes: 3, Filters: 8, Hidden: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(20, 13, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+}
+
+func BenchmarkCommCNNTrainStep(b *testing.B) {
+	net, err := NewCommCNN(CommCNNConfig{K: 20, Features: 13, Classes: 3, Filters: 8, Hidden: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]*tensor.Tensor, 32)
+	ys := make([]int, 32)
+	for i := range xs {
+		xs[i] = benchInput(20, 13, int64(i))
+		ys[i] = i % 3
+	}
+	opt := NewAdam(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Fit(xs, ys, TrainConfig{Epochs: 1, BatchSize: 32, Workers: 1, Optimizer: opt, Seed: int64(i)})
+	}
+}
+
+func BenchmarkConv3x3Same(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D("c", 8, 8, 3, 3, Same, rng)
+	x := tensor.NewTensor(8, 20, 13)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}

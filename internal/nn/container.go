@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"locec/internal/tensor"
+)
+
+// Sequential chains layers, feeding each output to the next layer.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential creates a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// OutShape implements Layer.
+func (s *Sequential) OutShape(c, h, w int) (int, int, int) {
+	for _, l := range s.Layers {
+		c, h, w = l.OutShape(c, h, w)
+	}
+	return c, h, w
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Clone implements Layer.
+func (s *Sequential) Clone() Layer {
+	ls := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		ls[i] = l.Clone()
+	}
+	return &Sequential{Layers: ls}
+}
+
+// ParallelConcat feeds the same input tensor to every branch, flattens each
+// branch output, and concatenates them into a single (1,1,total) vector.
+// This realizes the "Flatten & concat" junction of CommCNN's three
+// convolution branches (Fig. 8).
+type ParallelConcat struct {
+	Branches []Layer
+	sizes    []int // flattened output size per branch (set during Forward)
+	inShape  [3]int
+}
+
+// NewParallelConcat creates the container.
+func NewParallelConcat(branches ...Layer) *ParallelConcat {
+	return &ParallelConcat{Branches: branches}
+}
+
+// OutShape implements Layer.
+func (p *ParallelConcat) OutShape(c, h, w int) (int, int, int) {
+	total := 0
+	for _, b := range p.Branches {
+		bc, bh, bw := b.OutShape(c, h, w)
+		total += bc * bh * bw
+	}
+	return 1, 1, total
+}
+
+// Forward implements Layer.
+func (p *ParallelConcat) Forward(x *tensor.Tensor) *tensor.Tensor {
+	p.inShape = [3]int{x.C, x.H, x.W}
+	p.sizes = p.sizes[:0]
+	var flat []float64
+	for _, b := range p.Branches {
+		out := b.Forward(x)
+		p.sizes = append(p.sizes, out.Size())
+		flat = append(flat, out.Data...)
+	}
+	t := tensor.NewTensor(1, 1, len(flat))
+	copy(t.Data, flat)
+	return t
+}
+
+// Backward implements Layer.
+func (p *ParallelConcat) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.NewTensor(p.inShape[0], p.inShape[1], p.inShape[2])
+	off := 0
+	for i, b := range p.Branches {
+		sz := p.sizes[i]
+		// Reconstruct branch-shaped gradient from the flat slice.
+		bc, bh, bw := b.OutShape(p.inShape[0], p.inShape[1], p.inShape[2])
+		bg := tensor.NewTensor(bc, bh, bw)
+		copy(bg.Data, gradOut.Data[off:off+sz])
+		off += sz
+		gi := b.Backward(bg)
+		gradIn.AddScaled(gi, 1)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *ParallelConcat) Params() []*Param {
+	var ps []*Param
+	for _, b := range p.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// Clone implements Layer.
+func (p *ParallelConcat) Clone() Layer {
+	bs := make([]Layer, len(p.Branches))
+	for i, b := range p.Branches {
+		bs[i] = b.Clone()
+	}
+	return &ParallelConcat{Branches: bs}
+}

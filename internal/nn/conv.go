@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"locec/internal/tensor"
+)
+
+// Padding selects how Conv2D handles borders.
+type Padding int
+
+const (
+	// Valid applies the kernel only at fully-overlapping positions:
+	// output is (H-KH+1) × (W-KW+1).
+	Valid Padding = iota
+	// Same zero-pads so the output spatial size equals the input size
+	// (stride 1 only).
+	Same
+)
+
+// Conv2D is a stride-1 2-D convolution (cross-correlation) with an
+// arbitrary rectangular kernel and per-output-channel bias. It supports the
+// paper's square (3×3), wide (1×F), long (k×1) and pointwise (1×1) kernels.
+type Conv2D struct {
+	InC, OutC int
+	KH, KW    int
+	Pad       Padding
+
+	weight *Param // shape OutC×InC×KH×KW flattened
+	bias   *Param // length OutC
+
+	lastIn *tensor.Tensor // memoized input for Backward
+}
+
+// NewConv2D creates the layer and He-initializes its weights from rng.
+func NewConv2D(name string, inC, outC, kh, kw int, pad Padding, rng *rand.Rand) *Conv2D {
+	if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 {
+		panic(fmt.Sprintf("nn: bad conv shape in=%d out=%d k=%dx%d", inC, outC, kh, kw))
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Pad: pad,
+		weight: newParam(name+".w", outC*inC*kh*kw),
+		bias:   newParam(name+".b", outC),
+	}
+	std := math.Sqrt(2.0 / float64(inC*kh*kw))
+	tensor.RandInit(c.weight.W, std, rng)
+	return c
+}
+
+func (c *Conv2D) wIdx(oc, ic, i, j int) int {
+	return ((oc*c.InC+ic)*c.KH+i)*c.KW + j
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(_, h, w int) (int, int, int) {
+	if c.Pad == Same {
+		return c.OutC, h, w
+	}
+	return c.OutC, h - c.KH + 1, w - c.KW + 1
+}
+
+// padOffsets returns the top/left zero-padding amounts.
+func (c *Conv2D) padOffsets() (int, int) {
+	if c.Pad == Same {
+		return (c.KH - 1) / 2, (c.KW - 1) / 2
+	}
+	return 0, 0
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.C != c.InC {
+		panic(fmt.Sprintf("nn: conv expected %d input channels, got %d", c.InC, x.C))
+	}
+	c.lastIn = x
+	_, oh, ow := c.OutShape(x.C, x.H, x.W)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv kernel %dx%d larger than input %dx%d", c.KH, c.KW, x.H, x.W))
+	}
+	po, pl := c.padOffsets()
+	out := tensor.NewTensor(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.bias.W[oc]
+		for y := 0; y < oh; y++ {
+			for xw := 0; xw < ow; xw++ {
+				s := b
+				for ic := 0; ic < c.InC; ic++ {
+					for i := 0; i < c.KH; i++ {
+						iy := y + i - po
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						for j := 0; j < c.KW; j++ {
+							ix := xw + j - pl
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							s += c.weight.W[c.wIdx(oc, ic, i, j)] * x.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, y, xw, s)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.lastIn
+	po, pl := c.padOffsets()
+	gradIn := tensor.NewTensor(x.C, x.H, x.W)
+	for oc := 0; oc < c.OutC; oc++ {
+		for y := 0; y < gradOut.H; y++ {
+			for xw := 0; xw < gradOut.W; xw++ {
+				g := gradOut.At(oc, y, xw)
+				if g == 0 {
+					continue
+				}
+				c.bias.G[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for i := 0; i < c.KH; i++ {
+						iy := y + i - po
+						if iy < 0 || iy >= x.H {
+							continue
+						}
+						for j := 0; j < c.KW; j++ {
+							ix := xw + j - pl
+							if ix < 0 || ix >= x.W {
+								continue
+							}
+							wi := c.wIdx(oc, ic, i, j)
+							c.weight.G[wi] += g * x.At(ic, iy, ix)
+							gradIn.Data[gradIn.Idx(ic, iy, ix)] += g * c.weight.W[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// Clone implements Layer: shares Params, private activation state.
+func (c *Conv2D) Clone() Layer {
+	cp := *c
+	cp.lastIn = nil
+	return &cp
+}

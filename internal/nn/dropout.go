@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math/rand"
+
+	"locec/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training (inverted dropout:
+// survivors are scaled by 1/keep so inference needs no rescaling). The
+// paper does not specify regularization for CommCNN, so the model builder
+// leaves it off by default; it is available through CommCNNConfig.Dropout
+// for larger training runs.
+type Dropout struct {
+	// Rate is the drop probability in [0, 1).
+	Rate float64
+	// Training toggles the stochastic behavior; when false the layer is
+	// the identity. Network.Fit flips this on for the duration of
+	// training via setTraining.
+	Training bool
+
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates the layer with its own deterministic RNG.
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.95
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.Training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	out := tensor.NewTensor(x.C, x.H, x.W)
+	d.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	scale := 1 / (1 - d.Rate)
+	gradIn := tensor.NewTensor(gradOut.C, gradOut.H, gradOut.W)
+	for i, on := range d.mask {
+		if on {
+			gradIn.Data[i] = gradOut.Data[i] * scale
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Clone implements Layer. The clone gets an independent RNG derived from a
+// fresh draw, so data-parallel workers do not share mask streams.
+func (d *Dropout) Clone() Layer {
+	return &Dropout{Rate: d.Rate, Training: d.Training, rng: rand.New(rand.NewSource(d.rng.Int63()))}
+}
+
+// setTraining walks a layer tree toggling every Dropout's Training flag.
+func setTraining(l Layer, on bool) {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, sub := range v.Layers {
+			setTraining(sub, on)
+		}
+	case *ParallelConcat:
+		for _, sub := range v.Branches {
+			setTraining(sub, on)
+		}
+	case *Dropout:
+		v.Training = on
+	}
+}

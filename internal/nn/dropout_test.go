@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/tensor"
+)
+
+func TestDropoutIdentityWhenEval(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := tensor.NewTensor(1, 2, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	out := d.Forward(x)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout altered activations")
+		}
+	}
+	g := tensor.NewTensor(1, 2, 3)
+	g.Data[0] = 5
+	gi := d.Backward(g)
+	if gi.Data[0] != 5 {
+		t.Fatal("eval-mode dropout altered gradients")
+	}
+}
+
+func TestDropoutTrainingStatistics(t *testing.T) {
+	d := NewDropout(0.3, 2)
+	d.Training = true
+	n := 20000
+	x := tensor.NewTensor(1, 1, n)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x)
+	kept := 0
+	sum := 0.0
+	for _, v := range out.Data {
+		if v != 0 {
+			kept++
+			sum += v
+		}
+	}
+	keepRate := float64(kept) / float64(n)
+	if math.Abs(keepRate-0.7) > 0.03 {
+		t.Fatalf("keep rate %.3f, want ~0.7", keepRate)
+	}
+	// Inverted scaling preserves the expectation.
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("post-dropout mean %.3f, want ~1", mean)
+	}
+	// Backward routes gradients only through survivors.
+	g := tensor.NewTensor(1, 1, n)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	gi := d.Backward(g)
+	for i, v := range out.Data {
+		if (v == 0) != (gi.Data[i] == 0) {
+			t.Fatal("gradient mask mismatch")
+		}
+	}
+}
+
+func TestDropoutRateClamping(t *testing.T) {
+	if d := NewDropout(-1, 1); d.Rate != 0 {
+		t.Fatalf("negative rate -> %v", d.Rate)
+	}
+	if d := NewDropout(1.5, 1); d.Rate >= 1 {
+		t.Fatalf("rate >= 1 not clamped: %v", d.Rate)
+	}
+}
+
+func TestSetTrainingToggles(t *testing.T) {
+	d1 := NewDropout(0.2, 1)
+	d2 := NewDropout(0.2, 2)
+	root := NewSequential(
+		NewParallelConcat(NewSequential(d1), NewFlatten()),
+		d2,
+	)
+	setTraining(root, true)
+	if !d1.Training || !d2.Training {
+		t.Fatal("setTraining(true) missed a dropout layer")
+	}
+	setTraining(root, false)
+	if d1.Training || d2.Training {
+		t.Fatal("setTraining(false) missed a dropout layer")
+	}
+}
+
+func TestCommCNNWithDropoutTrains(t *testing.T) {
+	net, err := NewCommCNN(CommCNNConfig{
+		K: 8, Features: 5, Classes: 3, Filters: 3, Hidden: 12, Dropout: 0.2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := synthTask(100, 8, 5, 5)
+	var first, last float64
+	net.Fit(xs, ys, TrainConfig{
+		Epochs: 8, BatchSize: 16, Workers: 1, Seed: 6, Optimizer: NewAdam(0.01),
+		OnEpoch: func(e int, l float64) {
+			if e == 0 {
+				first = l
+			}
+			last = l
+		},
+	})
+	if last >= first {
+		t.Fatalf("dropout network did not learn: %.4f -> %.4f", first, last)
+	}
+	// After Fit, inference is deterministic (dropout off).
+	a := net.Predict(xs[0])
+	b := net.Predict(xs[0])
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inference not deterministic after training (dropout left on?)")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"locec/internal/tensor"
+)
+
+func TestSequentialOutShapeMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	seq := NewSequential(
+		NewConv2D("a", 1, 3, 3, 3, Same, rng),
+		NewReLU(),
+		NewMaxPool2(),
+		NewConv2D("b", 3, 2, 1, 1, Valid, rng),
+		NewGlobalMaxPool(),
+		NewFlatten(),
+		NewDense("d", 2, 5, rng),
+	)
+	c, h, w := seq.OutShape(1, 7, 9)
+	x := tensor.NewTensor(1, 7, 9)
+	out := seq.Forward(x)
+	if out.C != c || out.H != h || out.W != w {
+		t.Fatalf("OutShape (%d,%d,%d) != Forward (%d,%d,%d)", c, h, w, out.C, out.H, out.W)
+	}
+}
+
+func TestCloneSharesParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	conv := NewConv2D("c", 1, 2, 3, 3, Same, rng)
+	clone := conv.Clone().(*Conv2D)
+	// Clone shares Param structs: weight mutation is visible both ways.
+	conv.Params()[0].W[0] = 42
+	if clone.Params()[0].W[0] != 42 {
+		t.Fatal("clone does not share weights")
+	}
+	// But activation state is private: forward on the clone must not
+	// disturb the original's memoized input.
+	x := tensor.NewTensor(1, 4, 4)
+	conv.Forward(x)
+	clone.Forward(tensor.NewTensor(1, 4, 4))
+	g := tensor.NewTensor(2, 4, 4)
+	// Backward on the original uses ITS memoized input; must not panic.
+	conv.Backward(g)
+}
+
+func TestDetachParamsIsolatesGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	root := NewSequential(NewConv2D("c", 1, 1, 1, 1, Valid, rng), NewFlatten(), NewDense("d", 4, 2, rng))
+	detached := cloneAndDetachParams(root)
+	origParams := root.Params()
+	detParams := detached.Params()
+	if len(origParams) != len(detParams) {
+		t.Fatal("param counts differ")
+	}
+	for i := range origParams {
+		if &origParams[i].W[0] == &detParams[i].W[0] {
+			t.Fatal("detached params alias originals")
+		}
+		// Weights copied.
+		for j := range origParams[i].W {
+			if origParams[i].W[j] != detParams[i].W[j] {
+				t.Fatal("weights not copied")
+			}
+		}
+	}
+	// Gradient accumulation on the detached copy leaves originals alone.
+	x := tensor.NewTensor(1, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := detached.Forward(x)
+	g := tensor.NewTensor(out.C, out.H, out.W)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	detached.Backward(g)
+	for _, p := range origParams {
+		for _, gv := range p.G {
+			if gv != 0 {
+				t.Fatal("gradient leaked to original params")
+			}
+		}
+	}
+}
+
+func TestOptimizerStateIsolation(t *testing.T) {
+	// Two params with identical gradients must update identically but
+	// independently under Adam.
+	a := newParam("a", 2)
+	b := newParam("b", 2)
+	a.W[0], b.W[0] = 1, 1
+	a.G[0], b.G[0] = 0.5, 0.5
+	opt := NewAdam(0.1)
+	opt.Step([]*Param{a, b})
+	if a.W[0] != b.W[0] {
+		t.Fatalf("identical params diverged: %v vs %v", a.W[0], b.W[0])
+	}
+	// Second step with a zero gradient on b only.
+	a.G[0] = 0.5
+	b.G[0] = 0
+	opt.Step([]*Param{a, b})
+	if a.W[0] == b.W[0] {
+		t.Fatal("optimizer state not independent per param")
+	}
+}
+
+func TestFitEmptyAndDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net := NewNetwork(NewSequential(NewFlatten(), NewDense("d", 4, 2, rng)), 2)
+	net.Fit(nil, nil, TrainConfig{}) // must not panic
+	if acc := net.Accuracy(nil, nil); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}

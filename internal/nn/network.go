@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"locec/internal/tensor"
+)
+
+// Network wraps a root layer (usually a Sequential) with a softmax
+// cross-entropy head and a mini-batch training loop.
+type Network struct {
+	Root    Layer
+	Classes int
+}
+
+// NewNetwork creates a network whose root layer must output a (1,1,Classes)
+// logit vector.
+func NewNetwork(root Layer, classes int) *Network {
+	return &Network{Root: root, Classes: classes}
+}
+
+// Predict returns the class probability vector for one sample.
+func (n *Network) Predict(x *tensor.Tensor) []float64 {
+	logits := n.Root.Forward(x)
+	probs := make([]float64, n.Classes)
+	tensor.Softmax(logits.Data, probs)
+	return probs
+}
+
+// lossAndGrad runs forward + backward for one sample through the given root
+// (which shares Params with n.Root), returning the cross-entropy loss.
+func lossAndGrad(root Layer, classes int, x *tensor.Tensor, label int) float64 {
+	logits := root.Forward(x)
+	probs := make([]float64, classes)
+	tensor.Softmax(logits.Data, probs)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	grad := tensor.NewTensor(1, 1, classes)
+	for i := range probs {
+		grad.Data[i] = probs[i]
+		if i == label {
+			grad.Data[i] -= 1
+		}
+	}
+	root.Backward(grad)
+	return loss
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Seed      int64
+	// Workers sets the data-parallel width within a batch; 0 means
+	// GOMAXPROCS. Gradients accumulate into the shared Params under a
+	// per-worker clone of the network, so results are deterministic only
+	// for Workers == 1 (floating-point accumulation order varies
+	// otherwise); class predictions are stable in practice.
+	Workers int
+	// OnEpoch, if non-nil, receives (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, meanLoss float64)
+	// L2 applies weight decay to all parameters at each step.
+	L2 float64
+}
+
+// Fit trains the network on the given samples with softmax cross-entropy.
+// Labels must lie in [0, Classes).
+func (n *Network) Fit(xs []*tensor.Tensor, ys []int, cfg TrainConfig) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(0.005)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	setTraining(n.Root, true)
+	defer setTraining(n.Root, false)
+	params := n.Root.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Per-worker clones share Params; gradient writes are serialized by
+	// giving each worker a private gradient buffer merged after the batch.
+	clones := make([]Layer, workers)
+	cloneParams := make([][]*Param, workers)
+	for w := 0; w < workers; w++ {
+		if w == 0 {
+			clones[w] = n.Root
+			cloneParams[w] = params
+		} else {
+			clones[w] = cloneAndDetachParams(n.Root)
+			cloneParams[w] = clones[w].Params()
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			// Sync clone weights with the live params.
+			for w := 1; w < workers; w++ {
+				for pi, p := range cloneParams[w] {
+					copy(p.W, params[pi].W)
+					p.ZeroGrad()
+				}
+			}
+			var wg sync.WaitGroup
+			losses := make([]float64, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for bi := w; bi < len(batch); bi += workers {
+						i := batch[bi]
+						losses[w] += lossAndGrad(clones[w], n.Classes, xs[i], ys[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, l := range losses {
+				totalLoss += l
+			}
+			// Merge worker gradients into the live params and normalize.
+			scale := 1.0 / float64(len(batch))
+			for pi, p := range params {
+				for w := 1; w < workers; w++ {
+					wg := cloneParams[w][pi].G
+					for i := range p.G {
+						p.G[i] += wg[i]
+					}
+				}
+				for i := range p.G {
+					p.G[i] *= scale
+					if cfg.L2 > 0 {
+						p.G[i] += cfg.L2 * p.W[i]
+					}
+				}
+			}
+			cfg.Optimizer.Step(params)
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, totalLoss/float64(len(idx)))
+		}
+	}
+}
+
+// cloneAndDetachParams deep-copies the layer tree INCLUDING fresh Param
+// structs (so worker gradients do not race on the shared accumulators).
+func cloneAndDetachParams(root Layer) Layer {
+	c := root.Clone()
+	detach(c)
+	return c
+}
+
+// detach replaces every Param in the cloned tree with a private copy.
+// Clone() shares Params by contract, so we rebuild them via reflection-free
+// type switching on the known layer kinds.
+func detach(l Layer) {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, sub := range v.Layers {
+			detach(sub)
+		}
+	case *ParallelConcat:
+		for _, sub := range v.Branches {
+			detach(sub)
+		}
+	case *Conv2D:
+		v.weight = copyParam(v.weight)
+		v.bias = copyParam(v.bias)
+	case *Dense:
+		v.weight = copyParam(v.weight)
+		v.bias = copyParam(v.bias)
+	}
+}
+
+func copyParam(p *Param) *Param {
+	np := newParam(p.Name, len(p.W))
+	copy(np.W, p.W)
+	return np
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches
+// the label.
+func (n *Network) Accuracy(xs []*tensor.Tensor, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if tensor.ArgMax(n.Predict(x)) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

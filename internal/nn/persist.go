@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// savedParam is the serialized form of one parameter tensor.
+type savedParam struct {
+	Name string    `json:"name"`
+	W    []float64 `json:"w"`
+}
+
+// SaveParams writes every learnable parameter of the network as JSON.
+// The architecture itself is NOT serialized: the loader must rebuild an
+// identical network (same config and layer names) and call LoadParams.
+func (n *Network) SaveParams(w io.Writer) error {
+	var out []savedParam
+	for _, p := range n.Root.Params() {
+		out = append(out, savedParam{Name: p.Name, W: p.W})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadParams restores parameters saved by SaveParams into a structurally
+// identical network. Parameters are matched positionally and verified by
+// name and length.
+func (n *Network) LoadParams(r io.Reader) error {
+	var in []savedParam
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	params := n.Root.Params()
+	if len(in) != len(params) {
+		return fmt.Errorf("nn: load: %d saved params for %d network params", len(in), len(params))
+	}
+	for i, sp := range in {
+		p := params[i]
+		if sp.Name != p.Name {
+			return fmt.Errorf("nn: load: param %d is %q, network expects %q", i, sp.Name, p.Name)
+		}
+		if len(sp.W) != len(p.W) {
+			return fmt.Errorf("nn: load: param %q has %d weights, want %d", sp.Name, len(sp.W), len(p.W))
+		}
+		copy(p.W, sp.W)
+	}
+	return nil
+}

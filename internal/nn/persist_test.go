@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadParamsRoundTrip(t *testing.T) {
+	build := func(seed int64) *Network {
+		net, err := NewCommCNN(CommCNNConfig{K: 8, Features: 5, Classes: 3, Filters: 3, Hidden: 8, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	src := build(1)
+	xs, ys := synthTask(60, 8, 5, 2)
+	src.Fit(xs, ys, TrainConfig{Epochs: 3, BatchSize: 16, Workers: 1, Seed: 3})
+
+	var buf bytes.Buffer
+	if err := src.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := build(99) // different init, same architecture
+	if err := dst.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:20] {
+		a, b := src.Predict(x), dst.Predict(x)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatal("loaded network diverges")
+			}
+		}
+	}
+}
+
+func TestLoadParamsRejectsMismatch(t *testing.T) {
+	net, err := NewCommCNN(CommCNNConfig{K: 8, Features: 5, Classes: 3, Filters: 3, Hidden: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong shape network's save.
+	other, err := NewCommCNN(CommCNNConfig{K: 8, Features: 7, Classes: 3, Filters: 3, Hidden: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := other.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.LoadParams(&buf); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+	if err := net.LoadParams(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := net.LoadParams(strings.NewReader("[]")); err == nil {
+		t.Fatal("empty param list accepted")
+	}
+}

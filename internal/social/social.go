@@ -1,0 +1,244 @@
+// Package social defines the shared data model of a LoCEC problem
+// instance: the friendship graph, per-user profile features, per-edge
+// interaction counts on |I| dimensions, ground-truth edge labels, and the
+// set of labels revealed to learners (the survey sample).
+//
+// Everything downstream — the LoCEC engine, the baselines, the evaluation
+// harness — consumes this representation, so the synthetic generator and
+// any future real-data loader are interchangeable.
+package social
+
+import (
+	"fmt"
+
+	"locec/internal/graph"
+)
+
+// Label is a relationship type. The paper focuses on the three major first
+// categories (84% of surveyed edges): colleagues, family members and
+// schoolmates.
+type Label int8
+
+// Relationship types.
+const (
+	// Unlabeled marks an edge with no revealed ground truth.
+	Unlabeled Label = -1
+	// Colleague covers current and past workplace relationships.
+	Colleague Label = 0
+	// Family covers kin, next of kin and in-law relationships.
+	Family Label = 1
+	// Schoolmate covers primary/middle/university/graduate cohorts.
+	Schoolmate Label = 2
+	// Other is a ground-truth-only category (interest, business, agent,
+	// private — 16% of the paper's survey). The paper's classifiers only
+	// predict the three major classes, so Other edges are excluded from
+	// training and from evaluation, exactly as in Section II-B.
+	Other Label = 3
+)
+
+// NumLabels is the number of predictable relationship classes.
+const NumLabels = 3
+
+// Labels lists the predictable classes in index order.
+var Labels = [NumLabels]Label{Colleague, Family, Schoolmate}
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case Colleague:
+		return "Colleague"
+	case Family:
+		return "Family Members"
+	case Schoolmate:
+		return "Schoolmates"
+	case Other:
+		return "Others"
+	case Unlabeled:
+		return "Unlabeled"
+	default:
+		return fmt.Sprintf("Label(%d)", int8(l))
+	}
+}
+
+// Valid reports whether l is one of the predictable classes.
+func (l Label) Valid() bool { return l >= 0 && l < NumLabels }
+
+// ValidGroundTruth reports whether l can appear as a true edge label
+// (a predictable class or Other).
+func (l Label) ValidGroundTruth() bool { return l.Valid() || l == Other }
+
+// InteractionDim identifies one observed interaction dimension.
+type InteractionDim int
+
+// The interaction dimensions observed per friend pair. Moments dimensions
+// follow the paper's Section II categories (pictures, articles, games) ×
+// (like, comment); messaging and reposting round out the |I| = 8 dims the
+// problem statement mentions ("messaging, commenting, reposting or liking").
+const (
+	DimMessage InteractionDim = iota
+	DimLikePicture
+	DimLikeArticle
+	DimLikeGame
+	DimCommentPicture
+	DimCommentArticle
+	DimCommentGame
+	DimRepost
+	NumInteractionDims
+)
+
+// DimNames gives printable names for the interaction dimensions.
+var DimNames = [NumInteractionDims]string{
+	"message", "like.picture", "like.article", "like.game",
+	"comment.picture", "comment.article", "comment.game", "repost",
+}
+
+// Dataset is one problem instance.
+type Dataset struct {
+	// G is the undirected friendship graph.
+	G *graph.Graph
+	// UserFeatures holds the per-user profile vector f_u (gender, age,
+	// region, activity); all rows have equal length |f|.
+	UserFeatures [][]float64
+	// Interactions maps canonical edge key -> per-dimension counts
+	// (length NumInteractionDims). Edges without any interaction are
+	// absent from the map — the sparsity the paper is built around.
+	Interactions map[uint64][]float64
+	// TrueLabels maps every edge key to its ground-truth label. The
+	// generator knows all labels; evaluation uses this map.
+	TrueLabels map[uint64]Label
+	// Revealed is the set of edge keys whose label is visible to learners
+	// (the survey sample E_labeled).
+	Revealed map[uint64]bool
+}
+
+// NumFeatureDims returns |f|, the per-user profile width.
+func (d *Dataset) NumFeatureDims() int {
+	if len(d.UserFeatures) == 0 {
+		return 0
+	}
+	return len(d.UserFeatures[0])
+}
+
+// Interaction returns the count on dimension dim for edge {u,v} (0 when the
+// pair never interacted).
+func (d *Dataset) Interaction(u, v graph.NodeID, dim InteractionDim) float64 {
+	if c, ok := d.Interactions[(graph.Edge{U: u, V: v}).Key()]; ok {
+		return c[dim]
+	}
+	return 0
+}
+
+// InteractionVector returns the full |I|-dim count vector for edge {u,v};
+// the returned slice must not be modified. Missing pairs yield a shared
+// zero vector.
+func (d *Dataset) InteractionVector(u, v graph.NodeID) []float64 {
+	if c, ok := d.Interactions[(graph.Edge{U: u, V: v}).Key()]; ok {
+		return c
+	}
+	return zeroInteractions[:]
+}
+
+var zeroInteractions [NumInteractionDims]float64
+
+// RevealedLabel returns the label of edge key k if revealed, else Unlabeled.
+func (d *Dataset) RevealedLabel(k uint64) Label {
+	if d.Revealed[k] {
+		return d.TrueLabels[k]
+	}
+	return Unlabeled
+}
+
+// LabeledEdges returns the canonical keys of all revealed edges whose true
+// label is one of the predictable classes, in graph edge order
+// (deterministic). Revealed Other edges are excluded: the paper restricts
+// both training and evaluation to the three major categories.
+func (d *Dataset) LabeledEdges() []uint64 {
+	out := make([]uint64, 0, len(d.Revealed))
+	d.G.ForEachEdge(func(u, v graph.NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		if d.Revealed[k] && d.TrueLabels[k].Valid() {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// LabeledEdgesAll returns the canonical keys of all revealed edges
+// including Other-class ones, in graph edge order.
+func (d *Dataset) LabeledEdgesAll() []uint64 {
+	out := make([]uint64, 0, len(d.Revealed))
+	d.G.ForEachEdge(func(u, v graph.NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		if d.Revealed[k] {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// UnlabeledEdges returns the canonical keys of all edges with hidden labels,
+// in graph edge order.
+func (d *Dataset) UnlabeledEdges() []uint64 {
+	out := make([]uint64, 0, d.G.NumEdges()-len(d.Revealed))
+	d.G.ForEachEdge(func(u, v graph.NodeID) {
+		k := (graph.Edge{U: u, V: v}).Key()
+		if !d.Revealed[k] {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// Validate checks internal consistency; generators call it before handing a
+// dataset to learners.
+func (d *Dataset) Validate() error {
+	n := d.G.NumNodes()
+	if len(d.UserFeatures) != n {
+		return fmt.Errorf("social: %d feature rows for %d nodes", len(d.UserFeatures), n)
+	}
+	w := d.NumFeatureDims()
+	for i, row := range d.UserFeatures {
+		if len(row) != w {
+			return fmt.Errorf("social: feature row %d has width %d, want %d", i, len(row), w)
+		}
+	}
+	for k, c := range d.Interactions {
+		e := graph.EdgeFromKey(k)
+		if !d.G.HasEdge(e.U, e.V) {
+			return fmt.Errorf("social: interaction on non-edge %v", e)
+		}
+		if len(c) != int(NumInteractionDims) {
+			return fmt.Errorf("social: interaction vector on %v has %d dims", e, len(c))
+		}
+	}
+	if len(d.TrueLabels) != d.G.NumEdges() {
+		return fmt.Errorf("social: %d true labels for %d edges", len(d.TrueLabels), d.G.NumEdges())
+	}
+	for k, l := range d.TrueLabels {
+		if !l.ValidGroundTruth() {
+			return fmt.Errorf("social: invalid true label %d on %v", l, graph.EdgeFromKey(k))
+		}
+	}
+	for k := range d.Revealed {
+		if _, ok := d.TrueLabels[k]; !ok {
+			return fmt.Errorf("social: revealed non-edge %v", graph.EdgeFromKey(k))
+		}
+	}
+	return nil
+}
+
+// EdgeFeature builds the flat feature vector the plain-XGBoost baseline
+// consumes: [f_u, f_v, I_uv]. Endpoint features are ordered canonically
+// (u < v) so the representation is symmetric.
+func (d *Dataset) EdgeFeature(u, v graph.NodeID) []float64 {
+	if u > v {
+		u, v = v, u
+	}
+	fu, fv := d.UserFeatures[u], d.UserFeatures[v]
+	iv := d.InteractionVector(u, v)
+	out := make([]float64, 0, len(fu)+len(fv)+len(iv))
+	out = append(out, fu...)
+	out = append(out, fv...)
+	out = append(out, iv...)
+	return out
+}

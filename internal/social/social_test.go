@@ -1,0 +1,140 @@
+package social
+
+import (
+	"testing"
+
+	"locec/internal/graph"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	labels := map[uint64]Label{
+		(graph.Edge{U: 0, V: 1}).Key(): Family,
+		(graph.Edge{U: 1, V: 2}).Key(): Colleague,
+		(graph.Edge{U: 2, V: 3}).Key(): Other,
+	}
+	inter := map[uint64][]float64{}
+	vec := make([]float64, NumInteractionDims)
+	vec[DimMessage] = 3
+	inter[(graph.Edge{U: 0, V: 1}).Key()] = vec
+	return &Dataset{
+		G:            g,
+		UserFeatures: [][]float64{{1}, {2}, {3}, {4}},
+		Interactions: inter,
+		TrueLabels:   labels,
+		Revealed:     map[uint64]bool{},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyDataset(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadShapes(t *testing.T) {
+	ds := tinyDataset(t)
+	ds.UserFeatures = ds.UserFeatures[:2]
+	if ds.Validate() == nil {
+		t.Fatal("short features accepted")
+	}
+	ds = tinyDataset(t)
+	ds.UserFeatures[2] = []float64{1, 2}
+	if ds.Validate() == nil {
+		t.Fatal("ragged features accepted")
+	}
+	ds = tinyDataset(t)
+	ds.Interactions[(graph.Edge{U: 0, V: 3}).Key()] = make([]float64, NumInteractionDims)
+	if ds.Validate() == nil {
+		t.Fatal("interaction on non-edge accepted")
+	}
+	ds = tinyDataset(t)
+	delete(ds.TrueLabels, (graph.Edge{U: 0, V: 1}).Key())
+	if ds.Validate() == nil {
+		t.Fatal("missing true label accepted")
+	}
+	ds = tinyDataset(t)
+	ds.TrueLabels[(graph.Edge{U: 0, V: 1}).Key()] = Label(9)
+	if ds.Validate() == nil {
+		t.Fatal("invalid label accepted")
+	}
+}
+
+func TestLabelStringsAndValidity(t *testing.T) {
+	if Colleague.String() != "Colleague" || Family.String() != "Family Members" ||
+		Schoolmate.String() != "Schoolmates" || Other.String() != "Others" ||
+		Unlabeled.String() != "Unlabeled" {
+		t.Fatal("label strings wrong")
+	}
+	if !Colleague.Valid() || Other.Valid() || Unlabeled.Valid() {
+		t.Fatal("Valid() wrong")
+	}
+	if !Other.ValidGroundTruth() || Unlabeled.ValidGroundTruth() {
+		t.Fatal("ValidGroundTruth() wrong")
+	}
+	if Label(9).String() == "" {
+		t.Fatal("unknown label should still render")
+	}
+}
+
+func TestInteractionLookups(t *testing.T) {
+	ds := tinyDataset(t)
+	if got := ds.Interaction(0, 1, DimMessage); got != 3 {
+		t.Fatalf("Interaction = %v", got)
+	}
+	if got := ds.Interaction(1, 0, DimMessage); got != 3 {
+		t.Fatalf("reversed Interaction = %v", got)
+	}
+	if got := ds.Interaction(1, 2, DimMessage); got != 0 {
+		t.Fatalf("missing pair Interaction = %v", got)
+	}
+	iv := ds.InteractionVector(2, 3)
+	for _, v := range iv {
+		if v != 0 {
+			t.Fatal("zero vector expected")
+		}
+	}
+}
+
+func TestLabeledEdgeFiltering(t *testing.T) {
+	ds := tinyDataset(t)
+	ds.Revealed[(graph.Edge{U: 0, V: 1}).Key()] = true
+	ds.Revealed[(graph.Edge{U: 2, V: 3}).Key()] = true // Other class
+	got := ds.LabeledEdges()
+	if len(got) != 1 || got[0] != (graph.Edge{U: 0, V: 1}).Key() {
+		t.Fatalf("LabeledEdges = %v", got)
+	}
+	all := ds.LabeledEdgesAll()
+	if len(all) != 2 {
+		t.Fatalf("LabeledEdgesAll = %v", all)
+	}
+	un := ds.UnlabeledEdges()
+	if len(un) != 1 || un[0] != (graph.Edge{U: 1, V: 2}).Key() {
+		t.Fatalf("UnlabeledEdges = %v", un)
+	}
+	if ds.RevealedLabel((graph.Edge{U: 0, V: 1}).Key()) != Family {
+		t.Fatal("RevealedLabel wrong")
+	}
+	if ds.RevealedLabel((graph.Edge{U: 1, V: 2}).Key()) != Unlabeled {
+		t.Fatal("hidden label leaked")
+	}
+}
+
+func TestEdgeFeatureSymmetry(t *testing.T) {
+	ds := tinyDataset(t)
+	a := ds.EdgeFeature(0, 1)
+	b := ds.EdgeFeature(1, 0)
+	if len(a) != len(b) {
+		t.Fatal("widths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("EdgeFeature not canonical")
+		}
+	}
+	want := 1 + 1 + int(NumInteractionDims)
+	if len(a) != want {
+		t.Fatalf("width = %d, want %d", len(a), want)
+	}
+}

@@ -1,0 +1,121 @@
+// Package wechat synthesizes a WeChat-like social network: users organized
+// into real-world circles (families, workplaces, school cohorts, interest
+// groups), a friendship graph with dense intra-circle edges, sparse
+// type-dependent Moments/message interactions, chat groups (a minority with
+// type-indicating names), and a survey sampler producing the revealed label
+// set.
+//
+// The paper's dataset is the proprietary WeChat trace; this generator is
+// the substitution documented in DESIGN.md. It is calibrated so the
+// Section II analysis artifacts (Table I mix, Fig. 2 common-group CDFs,
+// Fig. 3 interaction bars, Fig. 4 sparsity CDF) reproduce the published
+// shapes, and the planted circles give LoCEC the local-community structure
+// its three phases exploit.
+package wechat
+
+// Config controls the generator. DefaultConfig provides values calibrated
+// against the paper's Section II; tests rely on those shapes, so change
+// them deliberately.
+type Config struct {
+	NumUsers int
+	Seed     int64
+
+	// Circle size ranges (inclusive).
+	FamilySizeMin, FamilySizeMax int
+	WorkSizeMin, WorkSizeMax     int
+	SchoolSizeMin, SchoolSizeMax int
+	HobbySizeMin, HobbySizeMax   int
+
+	// Intra-circle edge probabilities.
+	FamilyDensity   float64
+	WorkDensity     float64
+	PastWorkDensity float64
+	SchoolDensity   float64
+	HobbyDensity    float64
+
+	// Closure is the per-circle-type triadic closure probability: after
+	// the base density pass, unconnected circle pairs sharing at least
+	// one in-circle neighbor connect with this probability. Real circles
+	// have high clustering, which is what makes ego networks decompose
+	// into sizable local communities (Fig. 10(a): median size 8).
+	WorkClosure, PastWorkClosure, SchoolClosure, HobbyClosure float64
+	// ClosureRounds repeats the closure pass (2 suffices).
+	ClosureRounds int
+
+	// Membership probabilities.
+	PastWorkProb float64 // users with a past workplace circle
+	// SecondPastWorkProb gives some users a second past workplace —
+	// accumulated careers make "Past" colleagues outnumber "Current"
+	// ones in Table I (25% vs 14%).
+	SecondPastWorkProb float64
+	SchoolProb         float64 // users with a school cohort
+	HobbyProb          float64 // users in an interest circle
+
+	// CircleNoise is the probability that a circle receives one extra
+	// member from outside (the "tour guide" impurity of Section V-C).
+	CircleNoise float64
+
+	// RandomEdgesPerUser adds unstructured Other edges.
+	RandomEdgesPerUser float64
+
+	// DormantProb gives the probability that a friend pair has no
+	// interactions at all, indexed in social.Label order (Colleague,
+	// Family, Schoolmate) with Other at index 3.
+	DormantProb [4]float64
+
+	// GroupProb is the probability a circle spawns a full-circle chat
+	// group; colleagues additionally spawn sub-team groups.
+	FamilyGroupProb, WorkGroupProb, SchoolGroupProb, HobbyGroupProb float64
+	// WorkSubGroups is the expected extra sub-team groups per workplace.
+	WorkSubGroups float64
+	// NamedGroupProb is the probability a circle group carries a
+	// type-indicating name (Table II's recall is tiny because this is).
+	NamedGroupProb float64
+	// MixedGroupsPerUser adds cross-circle chat groups with no type signal.
+	MixedGroupsPerUser float64
+}
+
+// DefaultConfig returns the calibrated configuration for n users.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		NumUsers: n,
+		Seed:     seed,
+
+		FamilySizeMin: 5, FamilySizeMax: 8,
+		WorkSizeMin: 10, WorkSizeMax: 25,
+		SchoolSizeMin: 15, SchoolSizeMax: 30,
+		HobbySizeMin: 5, HobbySizeMax: 15,
+
+		FamilyDensity:   0.95,
+		WorkDensity:     0.13,
+		PastWorkDensity: 0.11,
+		SchoolDensity:   0.08,
+		HobbyDensity:    0.15,
+
+		WorkClosure:     0.30,
+		PastWorkClosure: 0.28,
+		SchoolClosure:   0.40,
+		HobbyClosure:    0.35,
+		ClosureRounds:   2,
+
+		PastWorkProb:       0.65,
+		SecondPastWorkProb: 0.30,
+		SchoolProb:         0.85,
+		HobbyProb:          0.55,
+
+		CircleNoise:        0.15,
+		RandomEdgesPerUser: 0.30,
+
+		// Colleague, Family, Schoolmate, Other.
+		DormantProb: [4]float64{0.40, 0.35, 0.40, 0.75},
+
+		FamilyGroupProb: 0.65,
+		WorkGroupProb:   0.85,
+		SchoolGroupProb: 0.70,
+		HobbyGroupProb:  0.50,
+		WorkSubGroups:   3.5,
+		NamedGroupProb:  0.04,
+
+		MixedGroupsPerUser: 0.15,
+	}
+}

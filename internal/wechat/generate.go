@@ -1,0 +1,446 @@
+package wechat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// CircleKind is the real-world circle type behind an edge or group.
+type CircleKind int
+
+// Circle kinds. Work splits into current/past and school into stages to
+// support the survey's second categories (Table I).
+const (
+	KindFamily CircleKind = iota
+	KindWorkCurrent
+	KindWorkPast
+	KindSchoolPrimary
+	KindSchoolMiddle
+	KindSchoolUniversity
+	KindHobby
+)
+
+// Label maps a circle kind to its first-category relationship label.
+func (k CircleKind) Label() social.Label {
+	switch k {
+	case KindFamily:
+		return social.Family
+	case KindWorkCurrent, KindWorkPast:
+		return social.Colleague
+	case KindSchoolPrimary, KindSchoolMiddle, KindSchoolUniversity:
+		return social.Schoolmate
+	default:
+		return social.Other
+	}
+}
+
+// SecondCategory returns the paper's Table I second-category name for an
+// edge inside this circle kind (family sub-types are drawn per edge).
+func (k CircleKind) SecondCategory() string {
+	switch k {
+	case KindWorkCurrent:
+		return "Current"
+	case KindWorkPast:
+		return "Past"
+	case KindSchoolPrimary:
+		return "Primary"
+	case KindSchoolMiddle:
+		return "Middle"
+	case KindSchoolUniversity:
+		return "University"
+	default:
+		return ""
+	}
+}
+
+// Circle is one planted real-world social circle.
+type Circle struct {
+	Kind    CircleKind
+	Members []graph.NodeID
+}
+
+// Profile is a user's raw generated profile (the Dataset carries the
+// numeric encoding; this struct keeps the interpretable form).
+type Profile struct {
+	Gender   int     // 0 or 1
+	Age      float64 // years
+	RegionX  float64 // coarse location
+	RegionY  float64
+	Activity float64 // posting propensity in [0,1]
+}
+
+// Network is a generated WeChat-like instance: the learner-facing Dataset
+// plus generator-side ground structure used by the Section II analyses.
+type Network struct {
+	*social.Dataset
+	Cfg      Config
+	Profiles []Profile
+	Circles  []Circle
+	Groups   []Group
+	// EdgeSecond maps edge key -> survey second-category name ("Kin",
+	// "Current", ...; "" when the edge has none).
+	EdgeSecond map[uint64]string
+	// CommonGroups maps edge key -> number of shared chat groups.
+	CommonGroups map[uint64]int
+}
+
+// Generate builds a deterministic network for the configuration.
+func Generate(cfg Config) (*Network, error) {
+	if cfg.NumUsers < 20 {
+		return nil, fmt.Errorf("wechat: need at least 20 users, got %d", cfg.NumUsers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumUsers
+
+	net := &Network{
+		Cfg:        cfg,
+		Profiles:   make([]Profile, n),
+		EdgeSecond: make(map[uint64]string),
+	}
+
+	// ---- Profiles ----------------------------------------------------
+	for i := 0; i < n; i++ {
+		net.Profiles[i] = Profile{
+			Gender:   rng.Intn(2),
+			Age:      18 + rng.Float64()*47, // 18..65, refined by circles below
+			RegionX:  rng.Float64(),
+			RegionY:  rng.Float64(),
+			Activity: 0.2 + rng.Float64()*0.8,
+		}
+	}
+
+	// ---- Circles ------------------------------------------------------
+	// Families: partition users into contiguous blocks of a shuffled
+	// permutation; members share region.
+	perm := rng.Perm(n)
+	for at := 0; at < n; {
+		size := cfg.FamilySizeMin + rng.Intn(cfg.FamilySizeMax-cfg.FamilySizeMin+1)
+		if at+size > n {
+			size = n - at
+		}
+		members := idsOf(perm[at : at+size])
+		at += size
+		net.Circles = append(net.Circles, Circle{Kind: KindFamily, Members: members})
+		// Families share a region.
+		rx, ry := rng.Float64(), rng.Float64()
+		for _, m := range members {
+			net.Profiles[m].RegionX = clamp01(rx + rng.NormFloat64()*0.02)
+			net.Profiles[m].RegionY = clamp01(ry + rng.NormFloat64()*0.02)
+		}
+	}
+
+	// Workplaces: every user gets a current workplace; most carry one past
+	// workplace and some a second — careers accumulate, which is why Past
+	// colleagues outnumber Current ones in the survey (Table I).
+	net.addPartitionCircles(rng, KindWorkCurrent, cfg.WorkSizeMin, cfg.WorkSizeMax, 1.0)
+	net.addPartitionCircles(rng, KindWorkPast, cfg.WorkSizeMin, cfg.WorkSizeMax, cfg.PastWorkProb)
+	net.addPartitionCircles(rng, KindWorkPast, cfg.WorkSizeMin, cfg.WorkSizeMax, cfg.SecondPastWorkProb)
+
+	// School cohorts: stage by user age; cohort members get similar ages.
+	stages := []CircleKind{KindSchoolPrimary, KindSchoolMiddle, KindSchoolUniversity}
+	stageWeights := []float64{0.15, 0.30, 0.55} // Table I: university dominates
+	var schoolUsers []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < cfg.SchoolProb {
+			schoolUsers = append(schoolUsers, i)
+		}
+	}
+	rng.Shuffle(len(schoolUsers), func(i, j int) {
+		schoolUsers[i], schoolUsers[j] = schoolUsers[j], schoolUsers[i]
+	})
+	for at := 0; at < len(schoolUsers); {
+		size := cfg.SchoolSizeMin + rng.Intn(cfg.SchoolSizeMax-cfg.SchoolSizeMin+1)
+		if at+size > len(schoolUsers) {
+			size = len(schoolUsers) - at
+		}
+		members := idsOf(schoolUsers[at : at+size])
+		at += size
+		kind := stages[weightedPick(rng, stageWeights)]
+		net.Circles = append(net.Circles, Circle{Kind: kind, Members: members})
+		// Cohort members share age.
+		base := 20 + rng.Float64()*40
+		for _, m := range members {
+			net.Profiles[m].Age = base + rng.NormFloat64()*1.2
+		}
+	}
+
+	// Hobby circles.
+	var hobbyUsers []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < cfg.HobbyProb {
+			hobbyUsers = append(hobbyUsers, i)
+		}
+	}
+	rng.Shuffle(len(hobbyUsers), func(i, j int) {
+		hobbyUsers[i], hobbyUsers[j] = hobbyUsers[j], hobbyUsers[i]
+	})
+	for at := 0; at < len(hobbyUsers); {
+		size := cfg.HobbySizeMin + rng.Intn(cfg.HobbySizeMax-cfg.HobbySizeMin+1)
+		if at+size > len(hobbyUsers) {
+			size = len(hobbyUsers) - at
+		}
+		net.Circles = append(net.Circles, Circle{Kind: KindHobby, Members: idsOf(hobbyUsers[at : at+size])})
+		at += size
+	}
+
+	// Circle impurity: occasionally add an outside member (the paper's
+	// tour-guide-among-colleagues example).
+	for ci := range net.Circles {
+		if rng.Float64() < cfg.CircleNoise {
+			extra := graph.NodeID(rng.Intn(n))
+			if !contains(net.Circles[ci].Members, extra) {
+				net.Circles[ci].Members = append(net.Circles[ci].Members, extra)
+			}
+		}
+	}
+
+	// ---- Edges ---------------------------------------------------------
+	// Precedence when a pair shares multiple circle kinds (the paper's
+	// "principal type"): Family > Colleague > Schoolmate > Other.
+	precedence := map[social.Label]int{social.Family: 3, social.Colleague: 2, social.Schoolmate: 1, social.Other: 0}
+	b := graph.NewBuilder(n)
+	labels := make(map[uint64]social.Label)
+	second := make(map[uint64]string)
+	addEdge := func(u, v graph.NodeID, kind CircleKind, sec string) {
+		if u == v {
+			return
+		}
+		k := (graph.Edge{U: u, V: v}).Key()
+		l := kind.Label()
+		if old, ok := labels[k]; ok {
+			if precedence[l] <= precedence[old] {
+				return
+			}
+		} else {
+			_ = b.AddEdge(u, v)
+		}
+		labels[k] = l
+		second[k] = sec
+	}
+	for _, c := range net.Circles {
+		density := net.densityFor(c.Kind)
+		closure := net.closureFor(c.Kind)
+		n := len(c.Members)
+		// Circle-local adjacency: base density pass, then triadic
+		// closure rounds (friends-of-friends within a circle meet).
+		local := make([][]bool, n)
+		for i := range local {
+			local[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < density {
+					local[i][j], local[j][i] = true, true
+				}
+			}
+		}
+		for round := 0; round < cfg.ClosureRounds && closure > 0; round++ {
+			type pair struct{ i, j int }
+			var candidates []pair
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if local[i][j] {
+						continue
+					}
+					for w := 0; w < n; w++ {
+						if local[i][w] && local[j][w] {
+							candidates = append(candidates, pair{i, j})
+							break
+						}
+					}
+				}
+			}
+			for _, p := range candidates {
+				if rng.Float64() < closure {
+					local[p.i][p.j], local[p.j][p.i] = true, true
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !local[i][j] {
+					continue
+				}
+				sec := c.Kind.SecondCategory()
+				switch c.Kind {
+				case KindFamily:
+					sec = familySecond(rng)
+				case KindHobby:
+					sec = hobbySecond(rng)
+				default:
+					// A small share of survey answers withhold the
+					// second category (Table I's Unknown rows).
+					if rng.Float64() < 0.06 {
+						sec = ""
+					}
+				}
+				addEdge(c.Members[i], c.Members[j], c.Kind, sec)
+			}
+		}
+	}
+	// Random unstructured Other edges.
+	extra := int(cfg.RandomEdgesPerUser * float64(n))
+	for i := 0; i < extra; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			addEdge(u, v, KindHobby, hobbySecond(rng))
+		}
+	}
+	g := b.Build()
+
+	// ---- Dataset -------------------------------------------------------
+	feats := make([][]float64, n)
+	for i, p := range net.Profiles {
+		feats[i] = []float64{
+			float64(p.Gender),
+			p.Age / 80.0,
+			p.RegionX,
+			p.RegionY,
+			p.Activity,
+		}
+	}
+	net.Dataset = &social.Dataset{
+		G:            g,
+		UserFeatures: feats,
+		Interactions: make(map[uint64][]float64),
+		TrueLabels:   labels,
+		Revealed:     make(map[uint64]bool),
+	}
+	net.EdgeSecond = second
+
+	net.generateInteractions(rng)
+	net.generateGroups(rng)
+
+	if err := net.Dataset.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// addPartitionCircles partitions (a sampled subset of) users into circles
+// of the given kind.
+func (net *Network) addPartitionCircles(rng *rand.Rand, kind CircleKind, sizeMin, sizeMax int, participation float64) {
+	n := len(net.Profiles)
+	var users []int
+	for i := 0; i < n; i++ {
+		if participation >= 1 || rng.Float64() < participation {
+			users = append(users, i)
+		}
+	}
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	for at := 0; at < len(users); {
+		size := sizeMin + rng.Intn(sizeMax-sizeMin+1)
+		if at+size > len(users) {
+			size = len(users) - at
+		}
+		net.Circles = append(net.Circles, Circle{Kind: kind, Members: idsOf(users[at : at+size])})
+		at += size
+	}
+}
+
+func (net *Network) densityFor(kind CircleKind) float64 {
+	cfg := net.Cfg
+	switch kind {
+	case KindFamily:
+		return cfg.FamilyDensity
+	case KindWorkCurrent:
+		return cfg.WorkDensity
+	case KindWorkPast:
+		return cfg.PastWorkDensity
+	case KindSchoolPrimary, KindSchoolMiddle, KindSchoolUniversity:
+		return cfg.SchoolDensity
+	default:
+		return cfg.HobbyDensity
+	}
+}
+
+func (net *Network) closureFor(kind CircleKind) float64 {
+	cfg := net.Cfg
+	switch kind {
+	case KindFamily:
+		return 0 // families are near-cliques already
+	case KindWorkCurrent:
+		return cfg.WorkClosure
+	case KindWorkPast:
+		return cfg.PastWorkClosure
+	case KindSchoolPrimary, KindSchoolMiddle, KindSchoolUniversity:
+		return cfg.SchoolClosure
+	default:
+		return cfg.HobbyClosure
+	}
+}
+
+// familySecond draws a family second category with Table I's conditional
+// mix (kin 16/28, in-law 5/28, unknown 7/28; next-of-kin ≈ 0).
+func familySecond(rng *rand.Rand) string {
+	r := rng.Float64()
+	switch {
+	case r < 16.0/28.0:
+		return "Kin"
+	case r < 21.0/28.0:
+		return "In-law"
+	default:
+		return ""
+	}
+}
+
+// hobbySecond draws an Others second category (interest 9/16, business
+// 1/16, agent 1/16, unknown 5/16).
+func hobbySecond(rng *rand.Rand) string {
+	r := rng.Float64()
+	switch {
+	case r < 9.0/16.0:
+		return "Interest"
+	case r < 10.0/16.0:
+		return "Business"
+	case r < 11.0/16.0:
+		return "Agent"
+	default:
+		return ""
+	}
+}
+
+func idsOf(xs []int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
+}
+
+func contains(s []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func weightedPick(rng *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	r := rng.Float64() * total
+	for i, v := range w {
+		r -= v
+		if r < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,141 @@
+package wechat
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/social"
+)
+
+func TestProfilesWithinBounds(t *testing.T) {
+	net := genTest(t, 300, 13)
+	for i, p := range net.Profiles {
+		if p.Gender != 0 && p.Gender != 1 {
+			t.Fatalf("user %d gender %d", i, p.Gender)
+		}
+		if p.Age < 10 || p.Age > 75 {
+			t.Fatalf("user %d age %.1f out of range", i, p.Age)
+		}
+		if p.RegionX < 0 || p.RegionX > 1 || p.RegionY < 0 || p.RegionY > 1 {
+			t.Fatalf("user %d region out of unit square", i)
+		}
+		if p.Activity < 0.2 || p.Activity > 1.0 {
+			t.Fatalf("user %d activity %.2f", i, p.Activity)
+		}
+	}
+	// Encoded features mirror profiles.
+	for i, f := range net.Dataset.UserFeatures {
+		if len(f) != 5 {
+			t.Fatalf("feature width %d", len(f))
+		}
+		if f[0] != float64(net.Profiles[i].Gender) {
+			t.Fatal("gender encoding mismatch")
+		}
+		if math.Abs(f[1]*80-net.Profiles[i].Age) > 1e-9 {
+			t.Fatal("age encoding mismatch")
+		}
+	}
+}
+
+func TestSchoolCohortsShareAge(t *testing.T) {
+	net := genTest(t, 500, 14)
+	for _, c := range net.Circles {
+		switch c.Kind {
+		case KindSchoolPrimary, KindSchoolMiddle, KindSchoolUniversity:
+		default:
+			continue
+		}
+		if len(c.Members) < 5 {
+			continue
+		}
+		mean, m2 := 0.0, 0.0
+		for _, m := range c.Members {
+			mean += net.Profiles[m].Age
+		}
+		mean /= float64(len(c.Members))
+		for _, m := range c.Members {
+			d := net.Profiles[m].Age - mean
+			m2 += d * d
+		}
+		std := math.Sqrt(m2 / float64(len(c.Members)))
+		// Cohort ages are drawn with sigma 1.2; the extra CircleNoise
+		// member can widen it, so allow generous headroom.
+		if std > 12 {
+			t.Fatalf("school cohort age std %.1f too wide", std)
+		}
+	}
+}
+
+func TestFamiliesShareRegion(t *testing.T) {
+	net := genTest(t, 500, 15)
+	checked := 0
+	for _, c := range net.Circles {
+		if c.Kind != KindFamily || len(c.Members) < 3 {
+			continue
+		}
+		checked++
+		var cx, cy float64
+		for _, m := range c.Members {
+			cx += net.Profiles[m].RegionX
+			cy += net.Profiles[m].RegionY
+		}
+		cx /= float64(len(c.Members))
+		cy /= float64(len(c.Members))
+		outliers := 0
+		for _, m := range c.Members {
+			dx := net.Profiles[m].RegionX - cx
+			dy := net.Profiles[m].RegionY - cy
+			if math.Sqrt(dx*dx+dy*dy) > 0.2 {
+				outliers++
+			}
+		}
+		// The CircleNoise extra member may live elsewhere; the core
+		// family must cluster.
+		if outliers > 1 {
+			t.Fatalf("family scattered: %d outliers of %d members", outliers, len(c.Members))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no families checked")
+	}
+}
+
+func TestEdgeSecondCategoriesConsistent(t *testing.T) {
+	net := genTest(t, 400, 16)
+	valid := map[social.Label]map[string]bool{
+		social.Colleague:  {"Current": true, "Past": true, "": true},
+		social.Family:     {"Kin": true, "In-law": true, "": true},
+		social.Schoolmate: {"Primary": true, "Middle": true, "University": true, "": true},
+		social.Other:      {"Interest": true, "Business": true, "Agent": true, "": true},
+	}
+	for k, l := range net.Dataset.TrueLabels {
+		sec := net.EdgeSecond[k]
+		if !valid[l][sec] {
+			t.Fatalf("label %v has second category %q", l, sec)
+		}
+	}
+}
+
+func TestPastColleaguesOutnumberCurrent(t *testing.T) {
+	// Table I: Past 25% vs Current 14% — careers accumulate. The
+	// generator should produce at least a substantial Past share.
+	net := genTest(t, 800, 17)
+	current, past := 0, 0
+	for k, l := range net.Dataset.TrueLabels {
+		if l != social.Colleague {
+			continue
+		}
+		switch net.EdgeSecond[k] {
+		case "Current":
+			current++
+		case "Past":
+			past++
+		}
+	}
+	if past == 0 || current == 0 {
+		t.Fatal("missing colleague sub-categories")
+	}
+	if ratio := float64(past) / float64(current); ratio < 0.4 {
+		t.Fatalf("past/current ratio %.2f too low", ratio)
+	}
+}

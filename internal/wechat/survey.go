@@ -1,0 +1,73 @@
+package wechat
+
+import (
+	"math/rand"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// SurveyRecord is one surveyed relationship: the paper's participants name
+// the first category for each sampled friend and optionally the second
+// category ("" meaning Unknown, as privacy-withheld answers in Table I).
+type SurveyRecord struct {
+	Edge   graph.Edge
+	First  social.Label
+	Second string
+}
+
+// RunSurvey simulates the paper's user survey: users are drawn at random
+// and label (almost all of) their incident edges until targetFraction of
+// all edges is revealed. The revealed set is stored on the Dataset and the
+// per-relationship records are returned for the Table I analysis.
+//
+// Labels cluster around surveyed egos — the geometry that makes the
+// paper's sub-graph experiment (and ProbWP's propagation) meaningful —
+// rather than being sampled i.i.d. over edges.
+func (net *Network) RunSurvey(targetFraction float64, seed int64) []SurveyRecord {
+	rng := rand.New(rand.NewSource(seed))
+	n := net.Dataset.G.NumNodes()
+	target := int(targetFraction * float64(net.Dataset.G.NumEdges()))
+	net.Dataset.Revealed = make(map[uint64]bool, target)
+	var records []SurveyRecord
+	order := rng.Perm(n)
+	const answerProb = 0.9 // participants skip a few contacts
+	for _, u := range order {
+		if len(net.Dataset.Revealed) >= target {
+			break
+		}
+		for _, v := range net.Dataset.G.Neighbors(graph.NodeID(u)) {
+			if rng.Float64() >= answerProb {
+				continue
+			}
+			k := (graph.Edge{U: graph.NodeID(u), V: v}).Key()
+			if net.Dataset.Revealed[k] {
+				continue
+			}
+			net.Dataset.Revealed[k] = true
+			records = append(records, SurveyRecord{
+				Edge:   graph.Edge{U: graph.NodeID(u), V: v}.Canon(),
+				First:  net.Dataset.TrueLabels[k],
+				Second: net.EdgeSecond[k],
+			})
+		}
+	}
+	return records
+}
+
+// SubsampleRevealed keeps each currently revealed edge with probability
+// keep, returning the dropped keys. Fig. 11 varies the labeled percentage
+// this way ("out of the 40% of labeled edges").
+func (net *Network) SubsampleRevealed(keep float64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var dropped []uint64
+	// Deterministic order.
+	keys := net.Dataset.LabeledEdgesAll()
+	for _, k := range keys {
+		if rng.Float64() >= keep {
+			delete(net.Dataset.Revealed, k)
+			dropped = append(dropped, k)
+		}
+	}
+	return dropped
+}

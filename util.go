@@ -1,0 +1,6 @@
+package locec
+
+import "locec/internal/graph"
+
+// edgeKey packs an undirected edge into its canonical map key.
+func edgeKey(u, v NodeID) uint64 { return (graph.Edge{U: u, V: v}).Key() }
