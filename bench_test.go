@@ -8,9 +8,16 @@
 package locec_test
 
 import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"locec/internal/experiments"
+	"locec/internal/graph"
+	"locec/internal/serve"
 )
 
 // benchOpt returns the benchmark-scale experiment options.
@@ -143,6 +150,42 @@ func BenchmarkFig14Advertising(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeEdgeLookup measures locec-serve single-edge lookup
+// throughput (lookups/sec ≈ 1e9 / ns/op) through the full handler stack —
+// the serving layer's hot path. Snapshot construction happens once outside
+// the timed region.
+func BenchmarkServeEdgeLookup(b *testing.B) {
+	s, err := serve.New(serve.Config{
+		Users: 200, Survey: 0.5, Seed: 7,
+		Variant: "xgb", Detector: "labelprop",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	var path string
+	s.Dataset().G.ForEachEdge(func(u, v graph.NodeID) {
+		if path == "" {
+			path = fmt.Sprintf("/v1/edge?u=%d&v=%d", u, v)
+		}
+	})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				// Errorf, not Fatalf: FailNow must not be called from
+				// RunParallel worker goroutines.
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkAblationStudy regenerates the design-choice study of

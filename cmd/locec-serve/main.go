@@ -1,0 +1,132 @@
+// Command locec-serve is the LoCEC classification service: it synthesizes
+// (or loads) a WeChat-like network, classifies every friendship with the
+// three-phase pipeline across a sharded worker pool, and serves the result
+// over HTTP/JSON from an atomically swappable in-memory snapshot.
+//
+// Usage:
+//
+//	locec-serve -addr :8080 -users 800 -variant cnn -shards 8
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness + snapshot version
+//	GET  /v1/edge?u=3&v=7         one friendship's predicted type
+//	POST /v1/classify             batch lookup: {"edges":[{"u":3,"v":7},...]}
+//	GET  /v1/communities/{node}   a node's ego-network communities
+//	GET  /v1/stats                snapshot, phase times, cache, uptime
+//	POST /v1/reload               classify a fresh dataset, swap atomically
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locec/internal/iodata"
+	"locec/internal/serve"
+	"locec/internal/social"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		users    = flag.Int("users", 800, "population size (synthetic mode)")
+		seed     = flag.Int64("seed", 42, "random seed for the initial snapshot")
+		survey   = flag.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
+		variant  = flag.String("variant", "cnn", "community classifier: cnn or xgb")
+		k        = flag.Int("k", 16, "feature matrix rows (CommCNN)")
+		epochs   = flag.Int("epochs", 8, "CommCNN training epochs")
+		shards   = flag.Int("shards", 0, "worker shards for division and training (0 = GOMAXPROCS)")
+		detector = flag.String("detector", "gn", "Phase I detector: gn, labelprop or louvain")
+		patience = flag.Int("gn-patience", 20, "Girvan-Newman early-stop patience (0 = exact)")
+		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
+		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
+	)
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg := serve.Config{
+		Users:      *users,
+		Survey:     *survey,
+		Seed:       *seed,
+		Variant:    *variant,
+		K:          *k,
+		Epochs:     *epochs,
+		Shards:     *shards,
+		Detector:   *detector,
+		GNPatience: *patience,
+		CacheSize:  *cache,
+		Logger:     log,
+	}
+	if *input != "" {
+		ds, err := loadDataset(*input)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Source = func(int64) (*social.Dataset, error) { return ds, nil }
+	}
+
+	log.Info("building initial snapshot",
+		"users", *users, "variant", *variant, "shards", *shards, "seed", *seed)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		log.Info("bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+// loadDataset reads a locec-datagen JSON document.
+func loadDataset(path string) (*social.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := iodata.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	return doc.ToDataset()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "locec-serve:", err)
+	os.Exit(1)
+}

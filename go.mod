@@ -1,0 +1,3 @@
+module locec
+
+go 1.24

@@ -85,20 +85,33 @@ func NewPipeline(cfg Config) *Pipeline {
 // Training data comes exclusively from ds.Revealed; the caller controls
 // train/test isolation by hiding labels before the run.
 func (p *Pipeline) Run(ds *social.Dataset) (*Result, error) {
+	t0 := time.Now()
+	egos := Divide(ds, p.cfg.Division)
+	return p.RunWithEgos(ds, egos, time.Since(t0))
+}
+
+// RunWithEgos executes Phases II and III on a precomputed Phase I division
+// (one EgoResult per node, indexed by node ID). Callers that shard the
+// division themselves — e.g. a serving layer partitioning ego networks by
+// node ID across workers — compute egos however they like and hand the
+// pieces here; phase1 is recorded as the division wall-clock time.
+func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 time.Duration) (*Result, error) {
+	if len(egos) != ds.G.NumNodes() {
+		return nil, fmt.Errorf("core: %d ego results for %d nodes", len(egos), ds.G.NumNodes())
+	}
 	res := &Result{ClassifierName: p.cfg.Classifier.Name()}
 
-	// ---- Phase I: division ------------------------------------------
-	t0 := time.Now()
-	res.Egos = Divide(ds, p.cfg.Division)
+	// ---- Phase I: division (precomputed) ----------------------------
+	res.Egos = egos
 	for _, er := range res.Egos {
 		res.Communities = append(res.Communities, er.Comms...)
 	}
-	res.Times.Phase1 = time.Since(t0)
+	res.Times.Phase1 = phase1
 
 	// ---- Phase II: aggregation --------------------------------------
 	// Train the community classifier on communities whose ground truth is
 	// derivable from revealed ego-edge labels.
-	t0 = time.Now()
+	t0 := time.Now()
 	var trainComms []*LocalCommunity
 	var trainLabels []social.Label
 	for _, c := range res.Communities {
@@ -177,18 +190,21 @@ func (p *Pipeline) combineByAgreement(ds *social.Dataset, res *Result) {
 				blended[c] /= total
 			}
 		}
-		lu := social.Label(argmax(cu.Probs))
-		lv := social.Label(argmax(cv.Probs))
+		lu := social.Label(Argmax(cu.Probs))
+		lv := social.Label(Argmax(cv.Probs))
 		if lu == lv {
 			res.Predictions[k] = lu
 		} else {
-			res.Predictions[k] = social.Label(argmax(blended))
+			res.Predictions[k] = social.Label(Argmax(blended))
 		}
 		res.Probabilities[k] = blended
 	})
 }
 
-func argmax(x []float64) int {
+// Argmax returns the index of the largest value (0 for empty input).
+// Shared by the combiner, the public Result views and the serving layer so
+// tie-breaking stays consistent everywhere.
+func Argmax(x []float64) int {
 	best, bi := -1.0, 0
 	for i, v := range x {
 		if v > best {

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"locec/internal/core"
+)
+
+// BenchmarkServeClassifyBatch measures cached batch throughput: after the
+// first request the LRU answers every identical batch. (Single-edge lookup
+// throughput is benchmarked at the repo root — BenchmarkServeEdgeLookup —
+// through the public serve API.)
+func BenchmarkServeClassifyBatch(b *testing.B) {
+	s := testServer(b)
+	h := s.Handler()
+	u, v := anyEdge(s)
+	body := fmt.Sprintf(`{"edges":[{"u":%d,"v":%d}]}`, u, v)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				// Errorf, not Fatalf: FailNow must not be called from
+				// RunParallel worker goroutines.
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkDivideSharded measures the sharded Phase I division alone.
+func BenchmarkDivideSharded(b *testing.B) {
+	s := testServer(b)
+	ds := s.current().ds
+	cfg := core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		divideSharded(ds, 0, cfg)
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// maxCacheBytes bounds the total response bytes the LRU retains; with
+// ~1 MiB request bodies producing ~4 MB responses, an entry-count bound
+// alone would let a client pin ~1 GB, so the cache evicts by size too.
+const maxCacheBytes = 64 << 20
+
+// lruCache is a small thread-safe LRU keyed by string, bounded by both
+// entry count and total value bytes. locec-serve uses it to memoize batch
+// /v1/classify responses: keys embed the snapshot version, so entries from
+// a superseded snapshot simply stop being asked for and age out — no
+// invalidation sweep on reload.
+type lruCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int
+	bytes    int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // value: *cacheEntry
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:      max,
+		maxBytes: maxCacheBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached value and moves it to the front.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores a value, evicting least-recently-used entries while either
+// bound (entry count, total bytes) is exceeded. Values larger than the
+// byte budget are not cached at all.
+func (c *lruCache) put(key string, val []byte) {
+	if len(val) > maxCacheBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += len(val) - len(e.val)
+		e.val = val
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += len(val)
+	}
+	for c.ll.Len() > c.max || c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= len(e.val)
+	}
+}
+
+// stats reports hit/miss counters and the current size.
+func (c *lruCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

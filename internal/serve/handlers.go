@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// maxClassifyBody bounds a /v1/classify request body (1 MiB ≈ 40k edges).
+const maxClassifyBody = 1 << 20
+
+// snapshotHeader carries the version of the snapshot that answered a
+// request; the logging middleware reads it back so access logs record the
+// snapshot the handler actually used, not whatever is newest.
+const snapshotHeader = "X-Snapshot-Version"
+
+// markSnapshot stamps the response with the serving snapshot's version.
+func markSnapshot(w http.ResponseWriter, snap *snapshot) {
+	w.Header().Set(snapshotHeader, strconv.FormatInt(snap.version, 10))
+}
+
+// Handler returns the service's HTTP routes wrapped in logging middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/edge", s.handleEdge)
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("GET /v1/communities/{node}", s.handleCommunities)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return s.withLogging(s.log, mux)
+}
+
+// edgeResult is one classified friendship in a response.
+type edgeResult struct {
+	U     uint32    `json:"u"`
+	V     uint32    `json:"v"`
+	Found bool      `json:"found"`
+	Label string    `json:"label,omitempty"`
+	Probs *probsDoc `json:"probabilities,omitempty"`
+}
+
+// probsDoc names the class probability vector's entries.
+type probsDoc struct {
+	Colleague  float64 `json:"colleague"`
+	Family     float64 `json:"family"`
+	Schoolmate float64 `json:"schoolmate"`
+}
+
+func newProbsDoc(p []float64) *probsDoc {
+	if len(p) < int(social.NumLabels) {
+		return nil
+	}
+	return &probsDoc{
+		Colleague:  p[social.Colleague],
+		Family:     p[social.Family],
+		Schoolmate: p[social.Schoolmate],
+	}
+}
+
+func (s *snapshot) edgeResult(u, v graph.NodeID) edgeResult {
+	out := edgeResult{U: uint32(u), V: uint32(v)}
+	label, probs, ok := s.label(u, v)
+	if !ok {
+		return out
+	}
+	out.Found = true
+	out.Label = label.String()
+	out.Probs = newProbsDoc(probs)
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseNode parses a node ID and range-checks it against the snapshot.
+func (s *snapshot) parseNode(raw string) (graph.NodeID, error) {
+	id, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("invalid node id %q", raw)
+	}
+	if int(id) >= s.ds.G.NumNodes() {
+		return 0, fmt.Errorf("node %d out of range (snapshot has %d nodes)", id, s.ds.G.NumNodes())
+	}
+	return graph.NodeID(id), nil
+}
+
+// handleHealthz reports liveness and the live snapshot version.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	markSnapshot(w, snap)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": snap.version,
+	})
+}
+
+// handleEdge answers GET /v1/edge?u=&v= with the single edge's prediction.
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	markSnapshot(w, snap)
+	u, err := snap.parseNode(r.URL.Query().Get("u"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "u: %v", err)
+		return
+	}
+	v, err := snap.parseNode(r.URL.Query().Get("v"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "v: %v", err)
+		return
+	}
+	res := snap.edgeResult(u, v)
+	if !res.Found {
+		writeError(w, http.StatusNotFound, "no friendship {%d,%d}", u, v)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// classifyRequest is the POST /v1/classify body.
+type classifyRequest struct {
+	Edges []struct {
+		U uint32 `json:"u"`
+		V uint32 `json:"v"`
+	} `json:"edges"`
+}
+
+// handleClassify answers a batch of edge lookups, memoized per snapshot in
+// the LRU cache (key: snapshot version + body hash).
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxClassifyBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxClassifyBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxClassifyBody)
+		return
+	}
+	snap := s.current()
+	markSnapshot(w, snap)
+	sum := sha256.Sum256(body)
+	key := strconv.FormatInt(snap.version, 10) + ":" + hex.EncodeToString(sum[:])
+	if cached, ok := s.cache.get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(cached)
+		return
+	}
+	var req classifyRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "no edges in request")
+		return
+	}
+	results := make([]edgeResult, len(req.Edges))
+	for i, e := range req.Edges {
+		u, v := graph.NodeID(e.U), graph.NodeID(e.V)
+		if int(e.U) >= snap.ds.G.NumNodes() || int(e.V) >= snap.ds.G.NumNodes() {
+			results[i] = edgeResult{U: e.U, V: e.V}
+			continue
+		}
+		results[i] = snap.edgeResult(u, v)
+	}
+	resp, err := json.Marshal(map[string]any{
+		"version": snap.version,
+		"results": results,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	resp = append(resp, '\n')
+	s.cache.put(key, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp)
+}
+
+// communityDoc is one local community in a /v1/communities response.
+type communityDoc struct {
+	Members   []uint32  `json:"members"`
+	Tightness []float64 `json:"tightness"`
+	Label     string    `json:"label"`
+	Probs     *probsDoc `json:"probabilities"`
+}
+
+// handleCommunities returns the local communities of a node's ego network
+// with their Phase II classification.
+func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	markSnapshot(w, snap)
+	node, err := snap.parseNode(r.PathValue("node"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ego := snap.res.Egos[node]
+	comms := make([]communityDoc, len(ego.Comms))
+	for i, c := range ego.Comms {
+		members := make([]uint32, len(c.Members))
+		for j, m := range c.Members {
+			members[j] = uint32(m)
+		}
+		comms[i] = communityDoc{
+			Members:   members,
+			Tightness: c.Tightness,
+			Label:     social.Label(core.Argmax(c.Probs)).String(),
+			Probs:     newProbsDoc(c.Probs),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":        node,
+		"version":     snap.version,
+		"communities": comms,
+	})
+}
+
+// handleStats reports the live snapshot, phase timings, cache counters and
+// process uptime.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	markSnapshot(w, snap)
+	hits, misses, size := s.cache.stats()
+	t := snap.res.Times
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot":       snap.info(),
+		"reloads":        s.reloads.Load(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"phase_seconds": map[string]float64{
+			"training":    t.Training.Seconds(),
+			"division":    t.Phase1.Seconds(),
+			"aggregation": t.Phase2.Seconds(),
+			"combination": t.Phase3.Seconds(),
+		},
+		"cache": map[string]any{
+			"hits":   hits,
+			"misses": misses,
+			"size":   size,
+		},
+	})
+}
+
+// reloadRequest is the optional POST /v1/reload body.
+type reloadRequest struct {
+	Seed *int64 `json:"seed"`
+}
+
+// handleReload builds and publishes a fresh snapshot. With no body (or no
+// seed), the next seed is the current one plus one so repeated reloads keep
+// producing new datasets.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeError(w, http.StatusBadRequest, "decode: %v", err)
+				return
+			}
+		}
+	}
+	var info SnapshotInfo
+	var err error
+	if req.Seed != nil {
+		info, err = s.Reload(*req.Seed)
+	} else {
+		info, err = s.ReloadNext()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set(snapshotHeader, strconv.FormatInt(info.Version, 10))
+	writeJSON(w, http.StatusOK, info)
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status and byte count for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// withLogging wraps a handler with structured request logging: one line per
+// request with method, path, status, bytes, duration, and the snapshot
+// version that answered it (the version the handler actually read, taken
+// from the X-Snapshot-Version response header — during a reload this can
+// lag the latest published version).
+func (s *Server) withLogging(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+			"snapshot", sw.Header().Get(snapshotHeader),
+		)
+	})
+}

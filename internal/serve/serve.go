@@ -1,0 +1,259 @@
+// Package serve is the LoCEC serving layer: a long-lived HTTP/JSON
+// classification service in the spirit of the paper's deployed system
+// (Section V-D). A dataset is loaded (or synthesized) once, classified by
+// the three-phase pipeline across a sharded worker pool, and the finished
+// run is published as an immutable in-memory snapshot behind an
+// atomic.Pointer. Readers — GET /v1/edge, POST /v1/classify,
+// GET /v1/communities/{node}, GET /v1/stats — never take a lock;
+// POST /v1/reload classifies a fresh dataset off to the side and swaps the
+// pointer, so lookups keep answering from the old snapshot until the new
+// one is complete.
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locec/internal/core"
+	"locec/internal/gbdt"
+	"locec/internal/graph"
+	"locec/internal/logreg"
+	"locec/internal/social"
+	"locec/internal/wechat"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Users / Survey / Seed drive the default synthetic dataset source.
+	Users  int
+	Survey float64
+	Seed   int64
+	// Variant is the Phase II classifier: "cnn" (default) or "xgb".
+	Variant string
+	// K / Epochs tune CommCNN; Rounds / MaxDepth tune XGBoost. Zero
+	// values take the engine defaults.
+	K, Epochs        int
+	Rounds, MaxDepth int
+	// Shards is the worker-pool width for the sharded division (and the
+	// core.DivisionConfig.Workers value for Phase II); 0 = GOMAXPROCS.
+	Shards int
+	// Detector picks the Phase I algorithm ("gn" default, "labelprop",
+	// "louvain") and GNPatience bounds Girvan–Newman.
+	Detector   string
+	GNPatience int
+	// CacheSize bounds the batch-response LRU cache (0 = 256 entries).
+	CacheSize int
+	// Source overrides the dataset source; the default synthesizes a
+	// WeChat-like network from Users/Survey and the given seed.
+	Source func(seed int64) (*social.Dataset, error)
+	// Logger receives structured request and lifecycle logs (nil = the
+	// default slog logger).
+	Logger *slog.Logger
+}
+
+// snapshot is one immutable classified dataset. Everything reachable from
+// here is read-only after publication; handlers grab the pointer once per
+// request and never observe a partial reload.
+type snapshot struct {
+	version   int64
+	seed      int64
+	ds        *social.Dataset
+	res       *core.Result
+	builtAt   time.Time
+	buildTime time.Duration
+}
+
+// label returns the predicted label and probability vector for {u,v},
+// with ok=false when the edge does not exist in the snapshot's graph.
+func (s *snapshot) label(u, v graph.NodeID) (social.Label, []float64, bool) {
+	k := (graph.Edge{U: u, V: v}).Key()
+	probs, ok := s.res.Probabilities[k]
+	if !ok {
+		return social.Unlabeled, nil, false
+	}
+	return s.res.Predictions[k], probs, true
+}
+
+// Server is the classification service. Create with New, mount Handler on
+// an http.Server.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	cur   atomic.Pointer[snapshot]
+	cache *lruCache
+	start time.Time
+
+	// reloadMu serializes snapshot builds; readers never touch it.
+	reloadMu sync.Mutex
+	version  atomic.Int64
+	reloads  atomic.Int64
+}
+
+// New builds the initial snapshot (blocking until the first classification
+// finishes) and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Users <= 0 {
+		cfg.Users = 400
+	}
+	if cfg.Survey <= 0 {
+		cfg.Survey = 0.4
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	switch cfg.Detector {
+	case "", "gn", "labelprop", "louvain":
+	default:
+		return nil, fmt.Errorf("serve: unknown detector %q (want gn, labelprop or louvain)", cfg.Detector)
+	}
+	switch cfg.Variant {
+	case "", "cnn", "xgb":
+	default:
+		return nil, fmt.Errorf("serve: unknown variant %q (want cnn or xgb)", cfg.Variant)
+	}
+	if cfg.Source == nil {
+		users, survey := cfg.Users, cfg.Survey
+		cfg.Source = func(seed int64) (*social.Dataset, error) {
+			net, err := wechat.Generate(wechat.DefaultConfig(users, seed))
+			if err != nil {
+				return nil, err
+			}
+			net.RunSurvey(survey, seed+1)
+			return net.Dataset, nil
+		}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		cfg:   cfg,
+		log:   log,
+		cache: newLRUCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+	if _, err := s.Reload(cfg.Seed); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SnapshotInfo describes a published snapshot (returned by Reload and the
+// stats endpoint).
+type SnapshotInfo struct {
+	Version     int64   `json:"version"`
+	Seed        int64   `json:"seed"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Communities int     `json:"communities"`
+	Classifier  string  `json:"classifier"`
+	BuiltAt     string  `json:"built_at"`
+	BuildSecs   float64 `json:"build_seconds"`
+}
+
+func (s *snapshot) info() SnapshotInfo {
+	return SnapshotInfo{
+		Version:     s.version,
+		Seed:        s.seed,
+		Nodes:       s.ds.G.NumNodes(),
+		Edges:       s.ds.G.NumEdges(),
+		Communities: len(s.res.Communities),
+		Classifier:  s.res.ClassifierName,
+		BuiltAt:     s.builtAt.UTC().Format(time.RFC3339),
+		BuildSecs:   s.buildTime.Seconds(),
+	}
+}
+
+// Reload classifies a fresh dataset for the given seed and atomically
+// publishes it. Concurrent readers keep serving the previous snapshot for
+// the whole build; concurrent reloads are serialized.
+func (s *Server) Reload(seed int64) (SnapshotInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.reloadLocked(seed)
+}
+
+// ReloadNext reloads with the live snapshot's seed plus one. The default
+// seed is read under the reload lock, so concurrent ReloadNext calls each
+// produce a distinct dataset instead of reusing the same increment.
+func (s *Server) ReloadNext() (SnapshotInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.reloadLocked(s.current().seed + 1)
+}
+
+// reloadLocked builds and publishes a snapshot; callers hold reloadMu.
+func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
+	t0 := time.Now()
+	ds, err := s.cfg.Source(seed)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: dataset source: %w", err)
+	}
+	res, err := s.classify(ds, seed)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: classify: %w", err)
+	}
+	snap := &snapshot{
+		version:   s.version.Add(1),
+		seed:      seed,
+		ds:        ds,
+		res:       res,
+		builtAt:   time.Now(),
+		buildTime: time.Since(t0),
+	}
+	s.cur.Store(snap)
+	s.reloads.Add(1)
+	s.log.Info("snapshot published",
+		"version", snap.version, "seed", seed,
+		"nodes", ds.G.NumNodes(), "edges", ds.G.NumEdges(),
+		"communities", len(res.Communities),
+		"build_seconds", snap.buildTime.Seconds())
+	return snap.info(), nil
+}
+
+// classify runs the three-phase pipeline: the Phase I division is sharded
+// by node ID across cfg.Shards workers (divideSharded), then Phases II and
+// III run through the core pipeline on the assembled ego results.
+func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, error) {
+	divCfg := core.DivisionConfig{
+		Workers:    s.cfg.Shards,
+		Seed:       seed,
+		GNPatience: s.cfg.GNPatience,
+	}
+	switch s.cfg.Detector {
+	case "labelprop":
+		divCfg.Detector = core.DetectorLabelProp
+	case "louvain":
+		divCfg.Detector = core.DetectorLouvain
+	}
+	coreCfg := core.Config{Division: divCfg, Seed: seed}
+	if s.cfg.Variant == "xgb" {
+		coreCfg.Classifier = &core.XGBClassifier{
+			Config: gbdt.Config{Rounds: s.cfg.Rounds, MaxDepth: s.cfg.MaxDepth, Seed: seed},
+			Seed:   seed,
+		}
+	} else {
+		coreCfg.Classifier = &core.CNNClassifier{
+			K: s.cfg.K, Epochs: s.cfg.Epochs, Workers: s.cfg.Shards, Seed: seed,
+		}
+	}
+	coreCfg.Combiner = logreg.Config{Classes: social.NumLabels, Seed: seed + 101}
+
+	t0 := time.Now()
+	egos := divideSharded(ds, s.cfg.Shards, divCfg)
+	phase1 := time.Since(t0)
+	return core.NewPipeline(coreCfg).RunWithEgos(ds, egos, phase1)
+}
+
+// current returns the live snapshot; never nil after New succeeds.
+func (s *Server) current() *snapshot { return s.cur.Load() }
+
+// Dataset returns the live snapshot's dataset. Treat it as read-only: it
+// is shared with every in-flight request.
+func (s *Server) Dataset() *social.Dataset { return s.current().ds }
+
+// Version returns the live snapshot's version (1 after New, +1 per reload).
+func (s *Server) Version() int64 { return s.current().version }

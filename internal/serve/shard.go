@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// divideSharded runs Phase I with the ego networks partitioned by node ID
+// across shards workers: shard s owns every node u with u % shards == s and
+// processes its ego networks sequentially with core.Divide1. This is the
+// serving layer's stand-in for the deployed system's server partitioning
+// (Section V-D) — each shard is an independent unit that could move to its
+// own machine, unlike the shared work queue core.Divide uses for local
+// runs. Results come back as one dense slice indexed by node ID, ready for
+// core.Pipeline.RunWithEgos.
+func divideSharded(ds *social.Dataset, shards int, cfg core.DivisionConfig) []*core.EgoResult {
+	n := ds.G.NumNodes()
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	results := make([]*core.EgoResult, n)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for u := shard; u < n; u += shards {
+				results[u] = core.Divide1(ds, graph.NodeID(u), cfg)
+			}
+		}(s)
+	}
+	wg.Wait()
+	return results
+}

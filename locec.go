@@ -160,6 +160,46 @@ func (r *Result) PhaseDurations() (training, phase1, phase2, phase3 float64) {
 	return t.Training.Seconds(), t.Phase1.Seconds(), t.Phase2.Seconds(), t.Phase3.Seconds()
 }
 
+// ClassifierName reports the Phase II community classifier the run used
+// ("LoCEC-CNN" or "LoCEC-XGB").
+func (r *Result) ClassifierName() string { return r.inner.ClassifierName }
+
+// CommunityView is a read-only snapshot of one local community detected in
+// a node's ego network — what GET /v1/communities/{node} of locec-serve
+// returns per community.
+type CommunityView struct {
+	// Ego is the node whose ego network contains the community.
+	Ego NodeID
+	// Members are the community's nodes (global IDs).
+	Members []NodeID
+	// Tightness[i] is Members[i]'s tightness in the community (Eq. 3).
+	Tightness []float64
+	// Label is the Phase II argmax class for the community.
+	Label Label
+	// Probs is the Phase II class probability vector.
+	Probs []float64
+}
+
+// NodeCommunities returns the local communities of node's ego network with
+// their Phase II classification, or nil if node is out of range.
+func (r *Result) NodeCommunities(node NodeID) []CommunityView {
+	if int(node) >= len(r.inner.Egos) || r.inner.Egos[node] == nil {
+		return nil
+	}
+	er := r.inner.Egos[node]
+	out := make([]CommunityView, len(er.Comms))
+	for i, c := range er.Comms {
+		out[i] = CommunityView{
+			Ego:       c.Ego,
+			Members:   c.Members,
+			Tightness: c.Tightness,
+			Label:     Label(core.Argmax(c.Probs)),
+			Probs:     c.Probs,
+		}
+	}
+	return out
+}
+
 // LabelScore pairs a relationship type with its predicted probability.
 type LabelScore = core.LabelScore
 

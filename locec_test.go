@@ -192,3 +192,47 @@ func TestAgreementRuleAblationRuns(t *testing.T) {
 		}
 	})
 }
+
+func TestNodeCommunities(t *testing.T) {
+	net, err := Synthesize(SynthConfig{Users: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RevealSurvey(0.5, 3)
+	res, err := Classify(net.Dataset, Config{Variant: VariantXGB, Rounds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for u := NodeID(0); int(u) < net.Dataset.G.NumNodes(); u++ {
+		for _, cv := range res.NodeCommunities(u) {
+			seen++
+			if cv.Ego != u {
+				t.Fatalf("node %d community has ego %d", u, cv.Ego)
+			}
+			if len(cv.Members) == 0 || len(cv.Members) != len(cv.Tightness) {
+				t.Fatalf("node %d malformed community: %d members, %d tightness",
+					u, len(cv.Members), len(cv.Tightness))
+			}
+			if !cv.Label.Valid() {
+				t.Fatalf("node %d community label %v", u, cv.Label)
+			}
+			// Every member must be a friend of the ego.
+			for _, m := range cv.Members {
+				if !net.Dataset.G.HasEdge(u, m) {
+					t.Fatalf("community member %d is not a friend of %d", m, u)
+				}
+			}
+		}
+	}
+	if seen != res.NumCommunities() {
+		t.Fatalf("NodeCommunities covered %d communities, NumCommunities = %d",
+			seen, res.NumCommunities())
+	}
+	if got := res.NodeCommunities(NodeID(999999)); got != nil {
+		t.Fatalf("out-of-range node returned %d communities", len(got))
+	}
+	if res.ClassifierName() != "LoCEC-XGB" {
+		t.Fatalf("classifier name = %q", res.ClassifierName())
+	}
+}
