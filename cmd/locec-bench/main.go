@@ -1,0 +1,129 @@
+// Command locec-bench runs named benchmark suites and manages their
+// machine-readable results.
+//
+// Run a suite and record BENCH_<suite>.json:
+//
+//	locec-bench -suite smoke -out BENCH_smoke.json
+//
+// Compare two recordings and fail (exit 1) on any scenario slower than
+// the threshold (flags must precede the positional new-report path):
+//
+//	locec-bench -diff bench/baseline.json -threshold 0.30 BENCH_smoke.json
+//
+// List the available suites:
+//
+//	locec-bench -list
+//
+// See docs/BENCHMARKING.md for the JSON schema and the baseline-update
+// workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"locec/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("locec-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		suite     = fs.String("suite", "smoke", "suite to run (see -list)")
+		out       = fs.String("out", "", "output path (default BENCH_<suite>.json)")
+		list      = fs.Bool("list", false, "list suites and their scenarios, then exit")
+		diff      = fs.String("diff", "", "baseline BENCH json; compares the positional new json against it and exits 1 on regression")
+		threshold = fs.Float64("threshold", bench.DefaultThreshold, "regression gate for -diff: fail when ns/op grows by more than this fraction")
+		warmup    = fs.Int("warmup", 0, "untimed runs per scenario (0 = harness default)")
+		reps      = fs.Int("reps", 0, "measured repetitions per scenario (0 = harness default)")
+		quiet     = fs.Bool("q", false, "suppress per-repetition progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *list:
+		return runList(stdout, stderr)
+	case *diff != "":
+		return runDiff(*diff, fs.Args(), *threshold, stdout, stderr)
+	default:
+		return runSuite(*suite, *out, *warmup, *reps, *quiet, stdout, stderr)
+	}
+}
+
+func runList(stdout, stderr io.Writer) int {
+	for _, name := range bench.SuiteNames() {
+		fmt.Fprintln(stdout, name)
+		scs, err := bench.Suite(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "locec-bench:", err)
+			return 1
+		}
+		for _, sc := range scs {
+			fmt.Fprintf(stdout, "  %s\n", sc.Name)
+		}
+	}
+	return 0
+}
+
+func runDiff(oldPath string, args []string, threshold float64, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "locec-bench: -diff needs exactly one positional argument: the new BENCH json (usage: locec-bench -diff old.json new.json)")
+		return 2
+	}
+	old, err := bench.ReadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "locec-bench:", err)
+		return 2
+	}
+	new, err := bench.ReadReport(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "locec-bench:", err)
+		return 2
+	}
+	d := bench.Diff(old, new, threshold)
+	d.Format(stdout)
+	if len(d.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runSuite(suite, out string, warmup, reps int, quiet bool, stdout, stderr io.Writer) int {
+	opt := bench.Options{Warmup: warmup, Reps: reps}
+	if !quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	report, err := bench.RunSuite(suite, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "locec-bench:", err)
+		return 1
+	}
+	if out == "" {
+		out = "BENCH_" + suite + ".json"
+	}
+	if err := report.Write(out); err != nil {
+		fmt.Fprintln(stderr, "locec-bench:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-44s %14s %12s\n", "scenario", "ns/op", "p99")
+	for _, r := range report.Results {
+		p99 := "-"
+		if r.Latency != nil {
+			p99 = fmt.Sprintf("%.0fns", r.Latency.P99Ns)
+		}
+		fmt.Fprintf(stdout, "%-44s %14.0f %12s\n", r.Scenario, r.NsPerOp, p99)
+	}
+	fmt.Fprintf(stdout, "\nwrote %s (%d scenarios, git %s)\n", out, len(report.Results), report.GitSHA)
+	return 0
+}

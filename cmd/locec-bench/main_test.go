@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"locec/internal/bench"
+)
+
+// writeReport stores a minimal valid BENCH json for CLI tests.
+func writeReport(t *testing.T, dir, name string, nsPerOp float64) string {
+	t.Helper()
+	r := bench.Report{
+		SchemaVersion: bench.SchemaVersion,
+		Suite:         "smoke",
+		GitSHA:        "test",
+		GoVersion:     "go1.24.0",
+		Results: []bench.ScenarioResult{
+			{Scenario: "pipeline/xgb/n=100/density=base", Reps: 3, OpsPerRep: 1, NsPerOp: nsPerOp},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "old.json", 1000)
+	better := writeReport(t, dir, "better.json", 800)
+	same := writeReport(t, dir, "same.json", 1000)
+	worse := writeReport(t, dir, "worse.json", 1400) // +40% > 30% gate
+
+	cases := []struct {
+		name string
+		new  string
+		want int
+	}{
+		{"improvement", better, 0},
+		{"no-change", same, 0},
+		{"regression", worse, 1},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		got := run([]string{"-diff", base, "-threshold", "0.30", c.new}, &stdout, &stderr)
+		if got != c.want {
+			t.Errorf("%s: exit = %d, want %d (stderr: %s)", c.name, got, c.want, stderr.String())
+		}
+		if c.want == 1 && !strings.Contains(stdout.String(), "REGRESSION") {
+			t.Errorf("%s: regression not reported:\n%s", c.name, stdout.String())
+		}
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "old.json", 1000)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-diff", base}, &stdout, &stderr); got != 2 {
+		t.Errorf("missing new json: exit = %d, want 2", got)
+	}
+	if got := run([]string{"-diff", filepath.Join(dir, "missing.json"), base}, &stdout, &stderr); got != 2 {
+		t.Errorf("unreadable baseline: exit = %d, want 2", got)
+	}
+	if got := run([]string{"-bogus-flag"}, &stdout, &stderr); got != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", got)
+	}
+}
+
+func TestListPrintsSuitesAndScenarios(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"smoke", "scale", "detectors", "serve", "pipeline/xgb/n=100/density=base"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownSuiteFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-suite", "nope", "-q"}, &stdout, &stderr); got != 1 {
+		t.Errorf("exit = %d, want 1", got)
+	}
+	if !strings.Contains(stderr.String(), "unknown suite") {
+		t.Errorf("stderr missing cause: %s", stderr.String())
+	}
+}
+
+// TestSmokeSuiteWritesValidReport is the acceptance check: running the
+// smoke suite produces a parseable BENCH json with per-phase durations
+// and serve latency percentiles, and the result diffs cleanly against
+// itself.
+func TestSmokeSuiteWritesValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real smoke suite")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-suite", "smoke", "-out", out, "-warmup", "1", "-reps", "1", "-q"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := bench.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases, latency bool
+	for _, res := range r.Results {
+		if len(res.PhaseNs) > 0 {
+			phases = true
+		}
+		if res.Latency != nil && res.Latency.P99Ns > 0 {
+			latency = true
+		}
+	}
+	if !phases {
+		t.Error("smoke report has no per-phase durations")
+	}
+	if !latency {
+		t.Error("smoke report has no serve latency percentiles")
+	}
+
+	// A report must never regress against itself.
+	var dout, derr bytes.Buffer
+	if got := run([]string{"-diff", out, out}, &dout, &derr); got != 0 {
+		t.Errorf("self-diff exit = %d:\n%s%s", got, dout.String(), derr.String())
+	}
+}

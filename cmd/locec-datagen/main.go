@@ -43,16 +43,22 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := doc.Encode(w); err != nil {
 		fatal(err)
+	}
+	if f != nil {
+		// A dropped Close error on the written file could hide truncation.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "locec-datagen: %d users, %d edges, %d groups, %d revealed labels\n",
 		len(doc.Users), len(doc.Edges), len(doc.Groups), len(net.Dataset.Revealed))

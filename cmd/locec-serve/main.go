@@ -118,7 +118,7 @@ func loadDataset(path string) (*social.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	doc, err := iodata.Decode(f)
 	if err != nil {
 		return nil, err

@@ -100,10 +100,9 @@ func exportCSV(path string, ds *social.Dataset, res *locec.Result) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
-	defer w.Flush()
 	if err := w.Write([]string{"u", "v", "predicted", "p_colleague", "p_family", "p_schoolmate"}); err != nil {
+		_ = f.Close()
 		return err
 	}
 	var writeErr error
@@ -121,7 +120,16 @@ func exportCSV(path string, ds *social.Dataset, res *locec.Result) error {
 			strconv.FormatFloat(p[2], 'f', 6, 64),
 		})
 	})
-	return writeErr
+	if writeErr != nil {
+		_ = f.Close()
+		return writeErr
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadOrSynthesize builds the dataset from -input or the generator.
@@ -138,7 +146,7 @@ func loadOrSynthesize(input string, users int, seed int64, survey float64) (*soc
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	doc, err := iodata.Decode(f)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,9 @@
+// Package bench is the LoCEC benchmarking subsystem: shared dataset
+// fixtures, a scenario harness with warmup and repetition, named suites
+// covering the pipeline (per-phase breakdowns à la Table VI), community
+// detectors and the serving layer (latency percentiles), and a
+// machine-readable report format (BENCH_<suite>.json) with a regression
+// differ. cmd/locec-bench is the CLI front end; the per-package
+// Benchmark* functions reuse the fixtures so `go test -bench` and the
+// scenario runs measure the same datasets.
+package bench

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultThreshold is the regression gate: a scenario slower by more than
+// this fraction of its baseline fails the diff (0.30 = +30% wall clock).
+const DefaultThreshold = 0.30
+
+// DiffEntry compares one scenario across two reports.
+type DiffEntry struct {
+	Scenario string  `json:"scenario"`
+	OldNs    float64 `json:"old_ns_per_op"`
+	NewNs    float64 `json:"new_ns_per_op"`
+	// Delta is (new-old)/old: +0.25 means 25% slower, -0.10 10% faster.
+	Delta      float64 `json:"delta"`
+	Regression bool    `json:"regression"`
+}
+
+// DiffReport is the outcome of comparing two suite reports.
+type DiffReport struct {
+	Threshold float64     `json:"threshold"`
+	Entries   []DiffEntry `json:"entries"`
+	// OnlyOld / OnlyNew list scenarios present in just one report;
+	// they never gate, but the output surfaces them so renames and
+	// dropped coverage stay visible.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+}
+
+// Diff matches scenarios by name and flags every one whose ns/op grew by
+// more than threshold (<= 0 uses DefaultThreshold).
+func Diff(old, new Report, threshold float64) DiffReport {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	oldBy := make(map[string]ScenarioResult, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Scenario] = r
+	}
+	d := DiffReport{Threshold: threshold}
+	seen := make(map[string]bool, len(new.Results))
+	for _, nr := range new.Results {
+		seen[nr.Scenario] = true
+		or, ok := oldBy[nr.Scenario]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, nr.Scenario)
+			continue
+		}
+		e := DiffEntry{Scenario: nr.Scenario, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		if or.NsPerOp > 0 {
+			e.Delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+			e.Regression = e.Delta > threshold
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	for _, or := range old.Results {
+		if !seen[or.Scenario] {
+			d.OnlyOld = append(d.OnlyOld, or.Scenario)
+		}
+	}
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Delta > d.Entries[j].Delta })
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// Regressions returns the entries beyond the threshold, slowest first.
+func (d DiffReport) Regressions() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Format writes a human-readable comparison table.
+func (d DiffReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "scenario", "old ns/op", "new ns/op", "delta")
+	for _, e := range d.Entries {
+		mark := ""
+		if e.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n",
+			e.Scenario, e.OldNs, e.NewNs, e.Delta*100, mark)
+	}
+	for _, s := range d.OnlyOld {
+		fmt.Fprintf(w, "%-44s (only in old report)\n", s)
+	}
+	for _, s := range d.OnlyNew {
+		fmt.Fprintf(w, "%-44s (only in new report)\n", s)
+	}
+	if n := len(d.Regressions()); n > 0 {
+		fmt.Fprintf(w, "\n%d scenario(s) regressed beyond +%.0f%%\n", n, d.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond +%.0f%%\n", d.Threshold*100)
+	}
+}

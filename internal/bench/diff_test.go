@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportWith(results ...ScenarioResult) Report {
+	return Report{SchemaVersion: SchemaVersion, Suite: "test", Results: results}
+}
+
+func TestDiffImprovementNoChangeRegression(t *testing.T) {
+	old := reportWith(
+		ScenarioResult{Scenario: "a", NsPerOp: 1000},
+		ScenarioResult{Scenario: "b", NsPerOp: 1000},
+		ScenarioResult{Scenario: "c", NsPerOp: 1000},
+	)
+	new := reportWith(
+		ScenarioResult{Scenario: "a", NsPerOp: 600},  // 40% faster
+		ScenarioResult{Scenario: "b", NsPerOp: 1000}, // unchanged
+		ScenarioResult{Scenario: "c", NsPerOp: 1400}, // 40% slower
+	)
+	d := Diff(old, new, 0.30)
+	if len(d.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(d.Entries))
+	}
+	byName := map[string]DiffEntry{}
+	for _, e := range d.Entries {
+		byName[e.Scenario] = e
+	}
+	if e := byName["a"]; e.Regression || e.Delta > -0.39 || e.Delta < -0.41 {
+		t.Errorf("improvement entry wrong: %+v", e)
+	}
+	if e := byName["b"]; e.Regression || e.Delta != 0 {
+		t.Errorf("no-change entry wrong: %+v", e)
+	}
+	if e := byName["c"]; !e.Regression || e.Delta < 0.39 || e.Delta > 0.41 {
+		t.Errorf("regression entry wrong: %+v", e)
+	}
+	regs := d.Regressions()
+	if len(regs) != 1 || regs[0].Scenario != "c" {
+		t.Errorf("regressions = %+v, want just c", regs)
+	}
+	// Entries are sorted slowest-delta first.
+	if d.Entries[0].Scenario != "c" || d.Entries[2].Scenario != "a" {
+		t.Errorf("entries not sorted by delta: %+v", d.Entries)
+	}
+}
+
+func TestDiffAtExactThresholdPasses(t *testing.T) {
+	old := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1000})
+	new := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1300})
+	if regs := Diff(old, new, 0.30).Regressions(); len(regs) != 0 {
+		t.Errorf("exactly +30%% flagged as regression: %+v", regs)
+	}
+	new = reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1301})
+	if regs := Diff(old, new, 0.30).Regressions(); len(regs) != 1 {
+		t.Errorf("+30.1%% not flagged: %+v", regs)
+	}
+}
+
+func TestDiffDefaultThreshold(t *testing.T) {
+	old := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1000})
+	new := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1350})
+	if regs := Diff(old, new, 0).Regressions(); len(regs) != 1 {
+		t.Errorf("threshold 0 should fall back to DefaultThreshold: %+v", regs)
+	}
+}
+
+func TestDiffDisjointScenarios(t *testing.T) {
+	old := reportWith(
+		ScenarioResult{Scenario: "kept", NsPerOp: 100},
+		ScenarioResult{Scenario: "dropped", NsPerOp: 100},
+	)
+	new := reportWith(
+		ScenarioResult{Scenario: "kept", NsPerOp: 100},
+		ScenarioResult{Scenario: "added", NsPerOp: 100},
+	)
+	d := Diff(old, new, 0.30)
+	if len(d.Entries) != 1 || d.Entries[0].Scenario != "kept" {
+		t.Errorf("entries = %+v, want just kept", d.Entries)
+	}
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != "dropped" {
+		t.Errorf("only_old = %v", d.OnlyOld)
+	}
+	if len(d.OnlyNew) != 1 || d.OnlyNew[0] != "added" {
+		t.Errorf("only_new = %v", d.OnlyNew)
+	}
+	if len(d.Regressions()) != 0 {
+		t.Error("disjoint scenarios must not gate")
+	}
+}
+
+func TestDiffFormatMentionsRegressions(t *testing.T) {
+	old := reportWith(ScenarioResult{Scenario: "hot/path", NsPerOp: 1000})
+	new := reportWith(ScenarioResult{Scenario: "hot/path", NsPerOp: 2000})
+	var sb strings.Builder
+	Diff(old, new, 0.30).Format(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "hot/path") {
+		t.Errorf("formatted diff missing regression marker:\n%s", out)
+	}
+
+	sb.Reset()
+	Diff(old, old, 0.30).Format(&sb)
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("clean diff should say so:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"locec/internal/core"
+)
+
+func TestRunScenarioCountsRepsAndOps(t *testing.T) {
+	var prepares, runs int
+	sc := Scenario{
+		Name:   "test/counting",
+		Params: map[string]string{"k": "v"},
+		Prepare: func() (RunFunc, error) {
+			prepares++
+			return func(m *M) error {
+				runs++
+				m.SetOps(10)
+				m.RecordPhase("division", 2*time.Millisecond)
+				m.RecordLatency(time.Millisecond)
+				return nil
+			}, nil
+		},
+	}
+	res, err := RunScenario(sc, Options{Warmup: 2, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepares != 1 {
+		t.Errorf("prepare ran %d times, want 1", prepares)
+	}
+	if runs != 5 { // 2 warmup + 3 measured
+		t.Errorf("body ran %d times, want 5", runs)
+	}
+	if res.Reps != 3 || len(res.RepNs) != 3 {
+		t.Errorf("reps = %d, rep_ns = %v, want 3 entries", res.Reps, res.RepNs)
+	}
+	if res.OpsPerRep != 10 {
+		t.Errorf("ops_per_rep = %d, want 10", res.OpsPerRep)
+	}
+	if res.NsPerOp <= 0 {
+		t.Errorf("ns_per_op = %v, want > 0", res.NsPerOp)
+	}
+	if res.PhaseNs["division"] != float64(2*time.Millisecond) {
+		t.Errorf("phase_ns[division] = %v, want 2e6", res.PhaseNs["division"])
+	}
+	if res.Latency == nil || res.Latency.Count != 3 {
+		t.Errorf("latency = %+v, want count 3 (warmup observations discarded)", res.Latency)
+	}
+	if res.Scenario != "test/counting" || res.Params["k"] != "v" {
+		t.Errorf("identity not carried through: %+v", res)
+	}
+}
+
+func TestRunScenarioScenarioOverridesOptions(t *testing.T) {
+	var runs int
+	sc := Scenario{
+		Name:   "test/override",
+		Warmup: 1,
+		Reps:   2,
+		Prepare: func() (RunFunc, error) {
+			return func(m *M) error { runs++; return nil }, nil
+		},
+	}
+	if _, err := RunScenario(sc, Options{Warmup: 5, Reps: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 { // 1 warmup + 2 reps from the scenario, not the options
+		t.Errorf("body ran %d times, want 3", runs)
+	}
+}
+
+func TestRunScenarioPropagatesErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	sc := Scenario{
+		Name:    "test/failing",
+		Prepare: func() (RunFunc, error) { return func(m *M) error { return wantErr }, nil },
+	}
+	if _, err := RunScenario(sc, Options{}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, wantErr)
+	}
+
+	sc = Scenario{
+		Name:    "test/failing-prepare",
+		Prepare: func() (RunFunc, error) { return nil, wantErr },
+	}
+	if _, err := RunScenario(sc, Options{}); !errors.Is(err, wantErr) {
+		t.Fatalf("prepare err = %v, want wrapped %v", err, wantErr)
+	}
+}
+
+func TestRecordPhasesUsesStableKeys(t *testing.T) {
+	m := &M{ops: 1, phases: map[string]time.Duration{}}
+	m.RecordPhases(core.PhaseTimes{Training: 1, Phase1: 2, Phase2: 3, Phase3: 4})
+	want := map[string]time.Duration{
+		"training": 1, "division": 2, "aggregation": 3, "combination": 4,
+	}
+	for k, v := range want {
+		if m.phases[k] != v {
+			t.Errorf("phases[%q] = %v, want %v", k, m.phases[k], v)
+		}
+	}
+}
+
+func TestSuiteNamesAndUnknownSuite(t *testing.T) {
+	names := SuiteNames()
+	if len(names) == 0 {
+		t.Fatal("no suites defined")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+		if _, err := Suite(n); err != nil {
+			t.Errorf("Suite(%q): %v", n, err)
+		}
+	}
+	for _, required := range []string{"smoke", "scale", "density", "detectors", "serve", "full"} {
+		if !seen[required] {
+			t.Errorf("suite %q missing from %v", required, names)
+		}
+	}
+	if _, err := Suite("nope"); err == nil {
+		t.Error("Suite(nope) succeeded, want error")
+	}
+}
+
+// TestSuiteScenarioNamesUnique guards the differ's matching key: every
+// scenario inside one suite must carry a distinct name.
+func TestSuiteScenarioNamesUnique(t *testing.T) {
+	for _, suite := range SuiteNames() {
+		scs, err := Suite(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, sc := range scs {
+			if seen[sc.Name] {
+				t.Errorf("suite %q has duplicate scenario name %q", suite, sc.Name)
+			}
+			seen[sc.Name] = true
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it on any
+// breaking change to Report or ScenarioResult; the differ refuses to
+// compare mismatched versions.
+const SchemaVersion = 1
+
+// Report is the machine-readable output of one suite run —
+// the BENCH_<suite>.json schema.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	GitSHA        string `json:"git_sha"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	CreatedAt     string `json:"created_at"`
+
+	Results []ScenarioResult `json:"results"`
+}
+
+// NewReport wraps suite results with the run's environment fingerprint.
+func NewReport(suite string, results []ScenarioResult) Report {
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         suite,
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Results:       results,
+	}
+}
+
+// gitSHA resolves the working tree's HEAD, or "unknown" outside a git
+// checkout (e.g. a CI artifact-only environment).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Write stores the report at path.
+func (r Report) Write(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport loads and validates a BENCH_*.json file.
+func ReadReport(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse report %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return Report{}, fmt.Errorf("bench: report %s has schema_version %d, this binary speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return r, nil
+}

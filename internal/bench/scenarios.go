@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/serve"
+)
+
+// densityName labels the standard density multipliers in scenario names.
+func densityName(mult float64) string {
+	switch mult {
+	case 0.5:
+		return "sparse"
+	case 1.0:
+		return "base"
+	case 2.0:
+		return "dense"
+	default:
+		return fmt.Sprintf("x%g", mult)
+	}
+}
+
+// detectorKind maps a detector name to the Phase I configuration.
+func detectorKind(name string) (core.DetectorKind, error) {
+	switch name {
+	case "gn":
+		return core.DetectorGirvanNewman, nil
+	case "labelprop":
+		return core.DetectorLabelProp, nil
+	case "louvain":
+		return core.DetectorLouvain, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown detector %q", name)
+	}
+}
+
+// PipelineScenario measures a full three-phase run (Table VI's unit) on a
+// synthetic dataset of the given scale and density, recording per-phase
+// durations. The XGBoost classifier and label-propagation detector keep
+// the scenario about pipeline mechanics rather than CNN training time.
+func PipelineScenario(users int, density float64) Scenario {
+	name := fmt.Sprintf("pipeline/xgb/n=%d/density=%s", users, densityName(density))
+	return Scenario{
+		Name: name,
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"density":    densityName(density),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			ds, err := Dataset(users, density, 42)
+			if err != nil {
+				return nil, err
+			}
+			return func(m *M) error {
+				p := core.NewPipeline(core.Config{
+					Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+					Classifier: &core.XGBClassifier{Seed: 1},
+					Seed:       1,
+				})
+				res, err := p.Run(ds)
+				if err != nil {
+					return err
+				}
+				m.RecordPhases(res.Times)
+				return nil
+			}, nil
+		},
+	}
+}
+
+// DivideScenario measures Phase I alone with one community-detection
+// algorithm — the detector-comparison axis.
+func DivideScenario(detector string, users int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("divide/%s/n=%d", detector, users),
+		Params: map[string]string{
+			"users":    fmt.Sprint(users),
+			"detector": detector,
+		},
+		Prepare: func() (RunFunc, error) {
+			kind, err := detectorKind(detector)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DivisionConfig{Detector: kind, Seed: 1}
+			return func(m *M) error {
+				t0 := time.Now()
+				core.Divide(ds, cfg)
+				m.RecordPhase("division", time.Since(t0))
+				return nil
+			}, nil
+		},
+	}
+}
+
+// discardLogger silences serve's request logging during benchmarks.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// benchServer builds a serving-layer instance on a fixture dataset. The
+// fast XGBoost + label-propagation configuration keeps snapshot builds
+// cheap; lookups exercise the same handler stack regardless.
+func benchServer(users int) (*serve.Server, error) {
+	return serve.New(serve.Config{
+		Users:    users,
+		Survey:   surveyFraction,
+		Seed:     7,
+		Variant:  "xgb",
+		Detector: "labelprop",
+		Source:   Source(users, 1.0),
+		Logger:   discardLogger(),
+	})
+}
+
+// edgePaths collects up to want /v1/edge request paths from the live
+// snapshot's friendships.
+func edgePaths(s *serve.Server, want int) []string {
+	paths := make([]string, 0, want)
+	s.Dataset().G.ForEachEdge(func(u, v graph.NodeID) {
+		if len(paths) < want {
+			paths = append(paths, fmt.Sprintf("/v1/edge?u=%d&v=%d", u, v))
+		}
+	})
+	return paths
+}
+
+// ServeLookupScenario measures single-edge lookup through the full
+// handler stack: one repetition issues `requests` GET /v1/edge calls and
+// records each call's latency, so the report carries p50/p95/p99 for the
+// serving hot path.
+func ServeLookupScenario(users, requests int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("serve/edge-lookup/n=%d", users),
+		Params: map[string]string{
+			"users":    fmt.Sprint(users),
+			"requests": fmt.Sprint(requests),
+		},
+		Prepare: func() (RunFunc, error) {
+			s, err := benchServer(users)
+			if err != nil {
+				return nil, err
+			}
+			h := s.Handler()
+			paths := edgePaths(s, 256)
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("bench: snapshot has no edges")
+			}
+			return func(m *M) error {
+				m.SetOps(requests)
+				for i := 0; i < requests; i++ {
+					req := httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil)
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					m.RecordLatency(time.Since(t0))
+					if rec.Code != http.StatusOK {
+						return fmt.Errorf("bench: lookup status %d", rec.Code)
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// ServeClassifyScenario measures POST /v1/classify batch throughput with
+// the snapshot-keyed LRU warm (every identical batch after the first is a
+// cache hit — the serving layer's steady state for repeated batches).
+func ServeClassifyScenario(users, batch, requests int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("serve/classify/n=%d/batch=%d", users, batch),
+		Params: map[string]string{
+			"users":    fmt.Sprint(users),
+			"batch":    fmt.Sprint(batch),
+			"requests": fmt.Sprint(requests),
+		},
+		Prepare: func() (RunFunc, error) {
+			s, err := benchServer(users)
+			if err != nil {
+				return nil, err
+			}
+			h := s.Handler()
+			var edges []string
+			s.Dataset().G.ForEachEdge(func(u, v graph.NodeID) {
+				if len(edges) < batch {
+					edges = append(edges, fmt.Sprintf(`{"u":%d,"v":%d}`, u, v))
+				}
+			})
+			if len(edges) == 0 {
+				return nil, fmt.Errorf("bench: snapshot has no edges")
+			}
+			body := `{"edges":[` + strings.Join(edges, ",") + `]}`
+			return func(m *M) error {
+				m.SetOps(requests)
+				for i := 0; i < requests; i++ {
+					req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					m.RecordLatency(time.Since(t0))
+					if rec.Code != http.StatusOK {
+						return fmt.Errorf("bench: classify status %d", rec.Code)
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestScenariosEndToEnd runs one real scenario from each family at tiny
+// scale — the integration guard for the fixtures → harness → result
+// plumbing that the smoke suite exercises in CI.
+func TestScenariosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario integration runs real pipelines")
+	}
+	opt := Options{Warmup: 1, Reps: 1}
+
+	div, err := RunScenario(DivideScenario("labelprop", 50), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.NsPerOp <= 0 || div.PhaseNs["division"] <= 0 {
+		t.Errorf("divide scenario missing measurements: %+v", div)
+	}
+
+	pipe, err := RunScenario(PipelineScenario(50, 1.0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"training", "division", "aggregation", "combination"} {
+		if pipe.PhaseNs[phase] <= 0 {
+			t.Errorf("pipeline scenario missing phase %q: %+v", phase, pipe.PhaseNs)
+		}
+	}
+
+	look, err := RunScenario(ServeLookupScenario(50, 50), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if look.Latency == nil || look.Latency.Count != 50 || look.Latency.P99Ns <= 0 {
+		t.Errorf("lookup scenario missing latency percentiles: %+v", look.Latency)
+	}
+	if look.OpsPerRep != 50 {
+		t.Errorf("ops_per_rep = %d, want 50", look.OpsPerRep)
+	}
+
+	if _, err := RunScenario(DivideScenario("nosuch", 50), opt); err == nil {
+		t.Error("unknown detector accepted")
+	}
+}

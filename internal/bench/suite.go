@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// suites maps each suite name to its scenario list. Suites are built
+// lazily so listing them costs nothing.
+var suites = map[string]func() []Scenario{
+	// smoke is the CI gate: every scenario family at tiny scale, small
+	// enough to run on every pull request yet covering pipeline phases,
+	// Phase I division and both serving hot paths (with latency
+	// percentiles).
+	"smoke": func() []Scenario {
+		return []Scenario{
+			PipelineScenario(100, 1.0),
+			DivideScenario("labelprop", 100),
+			ServeLookupScenario(100, 400),
+			ServeClassifyScenario(100, 16, 400),
+		}
+	},
+	// scale sweeps the population axis (Fig. 12(a) / Table VI regime):
+	// n ∈ {1k, 10k, 100k} at base density.
+	"scale": func() []Scenario {
+		return []Scenario{
+			PipelineScenario(1000, 1.0),
+			PipelineScenario(10000, 1.0),
+			PipelineScenario(100000, 1.0),
+		}
+	},
+	// density sweeps edge density at fixed population: sparser and
+	// denser ego networks stress Phase I and feature construction
+	// differently.
+	"density": func() []Scenario {
+		return []Scenario{
+			PipelineScenario(1000, 0.5),
+			PipelineScenario(1000, 1.0),
+			PipelineScenario(1000, 2.0),
+		}
+	},
+	// detectors compares the Phase I community-detection algorithms on
+	// identical ego networks.
+	"detectors": func() []Scenario {
+		return []Scenario{
+			DivideScenario("gn", 400),
+			DivideScenario("labelprop", 400),
+			DivideScenario("louvain", 400),
+		}
+	},
+	// serve measures the serving layer at a more realistic scale than
+	// smoke: lookup and batch-classify throughput with p50/p95/p99.
+	"serve": func() []Scenario {
+		return []Scenario{
+			ServeLookupScenario(400, 2000),
+			ServeClassifyScenario(400, 64, 1000),
+		}
+	},
+}
+
+// full chains every suite except the long-running scale sweep.
+func init() {
+	suites["full"] = func() []Scenario {
+		var out []Scenario
+		for _, name := range []string{"smoke", "density", "detectors", "serve"} {
+			out = append(out, suites[name]()...)
+		}
+		return out
+	}
+}
+
+// SuiteNames lists the defined suites alphabetically.
+func SuiteNames() []string {
+	names := make([]string, 0, len(suites))
+	for name := range suites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite resolves a suite name to its scenarios.
+func Suite(name string) ([]Scenario, error) {
+	f, ok := suites[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown suite %q (have %v)", name, SuiteNames())
+	}
+	return f(), nil
+}
+
+// RunSuite measures a whole suite and wraps the results in a Report.
+func RunSuite(name string, opt Options) (Report, error) {
+	scs, err := Suite(name)
+	if err != nil {
+		return Report{}, err
+	}
+	results, err := RunScenarios(scs, opt)
+	if err != nil {
+		return Report{}, err
+	}
+	return NewReport(name, results), nil
+}

@@ -1,92 +1,76 @@
-package community
+package community_test
 
 import (
-	"math/rand"
 	"testing"
 
-	"locec/internal/graph"
+	"locec/internal/bench"
+	"locec/internal/community"
 )
 
-// egoLike builds a planted two-community graph shaped like a typical ego
-// network (the Phase I unit of work).
-func egoLike(n int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	half := n / 2
-	dense := func(lo, hi int, p float64) {
-		for i := lo; i < hi; i++ {
-			for j := i + 1; j < hi; j++ {
-				if rng.Float64() < p {
-					_ = b.AddEdge(graph.NodeID(i), graph.NodeID(j))
-				}
-			}
-		}
-	}
-	dense(0, half, 0.5)
-	dense(half, n, 0.5)
-	_ = b.AddEdge(graph.NodeID(half-1), graph.NodeID(half))
-	return b.Build()
-}
+// Benchmarks run on bench.EgoGraph — the shared planted two-community
+// fixture shaped like a typical ego network (the Phase I unit of work) —
+// so `go test -bench` and the locec-bench detector suite measure
+// identical graphs.
 
 func BenchmarkGirvanNewmanEgo16(b *testing.B) {
-	g := egoLike(16, 1)
+	g := bench.EgoGraph(16, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GirvanNewman(g, Options{})
+		community.GirvanNewman(g, community.Options{})
 	}
 }
 
 func BenchmarkGirvanNewmanEgo32(b *testing.B) {
-	g := egoLike(32, 2)
+	g := bench.EgoGraph(32, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GirvanNewman(g, Options{})
+		community.GirvanNewman(g, community.Options{})
 	}
 }
 
 func BenchmarkGirvanNewmanEgo64Patience(b *testing.B) {
-	g := egoLike(64, 3)
+	g := bench.EgoGraph(64, 3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GirvanNewman(g, Options{Patience: 20})
+		community.GirvanNewman(g, community.Options{Patience: 20})
 	}
 }
 
 func BenchmarkEdgeBetweenness(b *testing.B) {
-	g := egoLike(32, 4)
+	g := bench.EgoGraph(32, 4)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		EdgeBetweenness(g)
+		community.EdgeBetweenness(g)
 	}
 }
 
 func BenchmarkLabelPropagationEgo32(b *testing.B) {
-	g := egoLike(32, 5)
+	g := bench.EgoGraph(32, 5)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		LabelPropagation(g, 20, int64(i))
+		community.LabelPropagation(g, 20, int64(i))
 	}
 }
 
 func BenchmarkLouvainEgo32(b *testing.B) {
-	g := egoLike(32, 6)
+	g := bench.EgoGraph(32, 6)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Louvain(g, int64(i))
+		community.Louvain(g, int64(i))
 	}
 }
 
 func BenchmarkLouvainEgo64(b *testing.B) {
-	g := egoLike(64, 7)
+	g := bench.EgoGraph(64, 7)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Louvain(g, int64(i))
+		community.Louvain(g, int64(i))
 	}
 }

@@ -1,44 +1,40 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	"locec/internal/bench"
+	"locec/internal/core"
 	"locec/internal/graph"
-	"locec/internal/wechat"
 )
 
-func benchNet(b *testing.B, users int) *wechat.Network {
-	b.Helper()
-	net, err := wechat.Generate(wechat.DefaultConfig(users, 42))
-	if err != nil {
-		b.Fatal(err)
-	}
-	net.RunSurvey(0.4, 7)
-	return net
-}
+// Benchmarks run on bench.WeChatDataset — the shared surveyed synthetic
+// fixture — so `go test -bench` and the locec-bench pipeline suites
+// measure identical datasets. Fixtures are cached per process and must
+// stay read-only.
 
 func BenchmarkPhase1Division500(b *testing.B) {
-	net := benchNet(b, 500)
+	ds := bench.WeChatDataset(500)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Divide(net.Dataset, DivisionConfig{})
+		core.Divide(ds, core.DivisionConfig{})
 	}
 }
 
 func BenchmarkPhase1SingleEgo(b *testing.B) {
-	net := benchNet(b, 1000)
+	ds := bench.WeChatDataset(1000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Divide1(net.Dataset, graph.NodeID(i%net.Dataset.G.NumNodes()), DivisionConfig{})
+		core.Divide1(ds, graph.NodeID(i%ds.G.NumNodes()), core.DivisionConfig{})
 	}
 }
 
 func BenchmarkFeatureMatrix(b *testing.B) {
-	net := benchNet(b, 300)
-	egos := Divide(net.Dataset, DivisionConfig{})
-	var comm *LocalCommunity
+	ds := bench.WeChatDataset(300)
+	egos := core.Divide(ds, core.DivisionConfig{})
+	var comm *core.LocalCommunity
 	for _, er := range egos {
 		for _, c := range er.Comms {
 			if comm == nil || len(c.Members) > len(comm.Members) {
@@ -49,29 +45,28 @@ func BenchmarkFeatureMatrix(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		FeatureMatrix(net.Dataset, comm, 20)
+		core.FeatureMatrix(ds, comm, 20)
 	}
 }
 
 func BenchmarkPooledFeatures(b *testing.B) {
-	net := benchNet(b, 300)
-	egos := Divide(net.Dataset, DivisionConfig{})
+	ds := bench.WeChatDataset(300)
+	egos := core.Divide(ds, core.DivisionConfig{})
 	comm := egos[0].Comms[0]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		PooledFeatures(net.Dataset, comm)
+		core.PooledFeatures(ds, comm)
 	}
 }
 
 func BenchmarkFullPipelineXGB400(b *testing.B) {
+	ds := bench.WeChatDataset(400)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		net := benchNet(b, 400)
-		p := NewPipeline(Config{Classifier: &XGBClassifier{Seed: 1}, Seed: 1})
-		b.StartTimer()
-		if _, err := p.Run(net.Dataset); err != nil {
+		p := core.NewPipeline(core.Config{Classifier: &core.XGBClassifier{Seed: 1}, Seed: 1})
+		if _, err := p.Run(ds); err != nil {
 			b.Fatal(err)
 		}
 	}

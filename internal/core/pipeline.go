@@ -41,6 +41,18 @@ func (p PhaseTimes) Total() time.Duration {
 	return p.Training + p.Phase1 + p.Phase2 + p.Phase3
 }
 
+// Map returns the per-phase durations keyed by the stable machine-readable
+// phase names shared by the /v1/stats endpoint and BENCH_*.json reports.
+// Changing a key is a schema change for both.
+func (p PhaseTimes) Map() map[string]time.Duration {
+	return map[string]time.Duration{
+		"training":    p.Training,
+		"division":    p.Phase1,
+		"aggregation": p.Phase2,
+		"combination": p.Phase3,
+	}
+}
+
 // Result is a full pipeline run output.
 type Result struct {
 	// Egos holds Phase I output per node.

@@ -1,64 +1,49 @@
-package graph
+package graph_test
 
 import (
-	"math/rand"
 	"testing"
+
+	"locec/internal/bench"
+	"locec/internal/graph"
 )
 
-func randomGraph(n, degree int, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	b := NewBuilder(n)
-	for i := 0; i < n*degree/2; i++ {
-		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
-		if u != v {
-			_ = b.AddEdge(u, v)
-		}
-	}
-	return b.Build()
-}
+// Benchmarks run on the shared fixtures from internal/bench so `go test
+// -bench` and the locec-bench scenario suites measure identical graphs.
 
 func BenchmarkBuild10k(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	type e struct{ u, v NodeID }
-	edges := make([]e, 0, 80000)
-	for i := 0; i < 80000; i++ {
-		u, v := NodeID(rng.Intn(10000)), NodeID(rng.Intn(10000))
-		if u != v {
-			edges = append(edges, e{u, v})
-		}
-	}
+	edges := bench.RandomEdges(10000, 80000, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bb := NewBuilder(10000)
-		for _, ed := range edges {
-			_ = bb.AddEdge(ed.u, ed.v)
+		bb := graph.NewBuilder(10000)
+		for _, e := range edges {
+			_ = bb.AddEdge(e[0], e[1])
 		}
 		bb.Build()
 	}
 }
 
 func BenchmarkEgoExtraction(b *testing.B) {
-	g := randomGraph(5000, 16, 2)
+	g := bench.RandomGraph(5000, 16, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Ego(NodeID(i % g.NumNodes()))
+		g.Ego(graph.NodeID(i % g.NumNodes()))
 	}
 }
 
 func BenchmarkHasEdge(b *testing.B) {
-	g := randomGraph(5000, 16, 3)
+	g := bench.RandomGraph(5000, 16, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u := NodeID(i % g.NumNodes())
-		v := NodeID((i * 7) % g.NumNodes())
+		u := graph.NodeID(i % g.NumNodes())
+		v := graph.NodeID((i * 7) % g.NumNodes())
 		g.HasEdge(u, v)
 	}
 }
 
 func BenchmarkConnectedComponents(b *testing.B) {
-	g := randomGraph(5000, 8, 4)
+	g := bench.RandomGraph(5000, 8, 4)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

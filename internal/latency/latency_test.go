@@ -1,0 +1,94 @@
+package latency
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	s := h.Snapshot()
+	if s.Count != 0 || s.MeanNs != 0 || s.P50Ns != 0 || s.P99Ns != 0 || s.MaxNs != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := New()
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p95 ≈ 950µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50Ns, 500e3},
+		{"p95", s.P95Ns, 950e3},
+		{"p99", s.P99Ns, 990e3},
+	}
+	for _, c := range checks {
+		// Log buckets have ~20% resolution; allow 25% relative error.
+		if math.Abs(c.got-c.want)/c.want > 0.25 {
+			t.Errorf("%s = %.0fns, want ≈ %.0fns", c.name, c.got, c.want)
+		}
+	}
+	if s.MaxNs != 1000e3 {
+		t.Errorf("max = %.0f, want 1000000", s.MaxNs)
+	}
+	if s.P50Ns > s.P95Ns || s.P95Ns > s.P99Ns || s.P99Ns > s.MaxNs {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := New()
+	h.Observe(3 * time.Millisecond)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.Abs(got-3e6)/3e6 > 0.2 {
+			t.Errorf("Quantile(%g) = %.0f, want within bucket resolution of 3e6", q, got)
+		}
+		if got > 3e6 {
+			t.Errorf("Quantile(%g) = %.0f exceeds the observed max 3e6", q, got)
+		}
+	}
+}
+
+func TestObserveExtremes(t *testing.T) {
+	h := New()
+	h.Observe(-time.Second)         // counts as zero
+	h.Observe(10 * time.Minute)     // overflow bucket
+	h.Observe(50 * time.Nanosecond) // below first bound
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Quantile(1); got != float64((10 * time.Minute).Nanoseconds()) {
+		t.Errorf("p100 = %.0f, want the overflow max", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

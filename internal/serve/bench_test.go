@@ -1,23 +1,65 @@
-package serve
+package serve_test
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"locec/internal/bench"
 	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/serve"
 )
+
+// benchServer builds a service on the shared internal/bench dataset
+// fixture so these benchmarks and the locec-bench serve suite measure
+// identical snapshots.
+func benchServer(b *testing.B) *serve.Server {
+	b.Helper()
+	s, err := serve.New(serve.Config{
+		Users:    80,
+		Survey:   0.4,
+		Seed:     7,
+		Variant:  "xgb",
+		Rounds:   5,
+		MaxDepth: 3,
+		Detector: "labelprop",
+		Source:   bench.Source(80, 1.0),
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// firstEdge returns some friendship present in the live snapshot.
+func firstEdge(s *serve.Server) (uint32, uint32) {
+	var u, v graph.NodeID
+	found := false
+	s.Dataset().G.ForEachEdge(func(a, b graph.NodeID) {
+		if !found {
+			u, v, found = a, b, true
+		}
+	})
+	if !found {
+		panic("snapshot has no edges")
+	}
+	return uint32(u), uint32(v)
+}
 
 // BenchmarkServeClassifyBatch measures cached batch throughput: after the
 // first request the LRU answers every identical batch. (Single-edge lookup
 // throughput is benchmarked at the repo root — BenchmarkServeEdgeLookup —
 // through the public serve API.)
 func BenchmarkServeClassifyBatch(b *testing.B) {
-	s := testServer(b)
+	s := benchServer(b)
 	h := s.Handler()
-	u, v := anyEdge(s)
+	u, v := firstEdge(s)
 	body := fmt.Sprintf(`{"edges":[{"u":%d,"v":%d}]}`, u, v)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -37,11 +79,10 @@ func BenchmarkServeClassifyBatch(b *testing.B) {
 
 // BenchmarkDivideSharded measures the sharded Phase I division alone.
 func BenchmarkDivideSharded(b *testing.B) {
-	s := testServer(b)
-	ds := s.current().ds
+	ds := bench.WeChatDataset(80)
 	cfg := core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 7}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		divideSharded(ds, 0, cfg)
+		serve.DivideSharded(ds, 0, cfg)
 	}
 }

@@ -1,0 +1,6 @@
+package serve
+
+// Hooks for the external serve_test package (bench_test.go), which runs
+// against the public API but benchmarks the unexported sharded division
+// directly.
+var DivideSharded = divideSharded

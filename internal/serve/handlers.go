@@ -237,23 +237,22 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports the live snapshot, phase timings, cache counters and
-// process uptime.
+// handleStats reports the live snapshot, phase timings, per-route request
+// latency percentiles, cache counters and process uptime.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
 	markSnapshot(w, snap)
 	hits, misses, size := s.cache.stats()
-	t := snap.res.Times
+	phases := make(map[string]float64, 4)
+	for name, d := range snap.res.Times.Map() {
+		phases[name] = d.Seconds()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot":       snap.info(),
 		"reloads":        s.reloads.Load(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"phase_seconds": map[string]float64{
-			"training":    t.Training.Seconds(),
-			"division":    t.Phase1.Seconds(),
-			"aggregation": t.Phase2.Seconds(),
-			"combination": t.Phase3.Seconds(),
-		},
+		"phase_seconds":  phases,
+		"latency_ms":     s.latencyDocs(),
 		"cache": map[string]any{
 			"hits":   hits,
 			"misses": misses,

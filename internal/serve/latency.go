@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"locec/internal/latency"
+)
+
+// routeLatency records request durations per mux route so /v1/stats (and
+// the benchmark harness through Server.LatencyStats) can report serving
+// percentiles without an external scraper. Routes are keyed by the matched
+// ServeMux pattern (falling back to the raw path for unmatched requests),
+// so cardinality stays bounded by the route table.
+type routeLatency struct {
+	mu     sync.RWMutex
+	routes map[string]*latency.Histogram
+}
+
+func newRouteLatency() *routeLatency {
+	return &routeLatency{routes: make(map[string]*latency.Histogram)}
+}
+
+// observe records one request duration under the given route.
+func (rl *routeLatency) observe(route string, d time.Duration) {
+	rl.mu.RLock()
+	h, ok := rl.routes[route]
+	rl.mu.RUnlock()
+	if !ok {
+		rl.mu.Lock()
+		if h, ok = rl.routes[route]; !ok {
+			h = latency.New()
+			rl.routes[route] = h
+		}
+		rl.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// snapshot summarizes every recorded route.
+func (rl *routeLatency) snapshot() map[string]latency.Stats {
+	rl.mu.RLock()
+	defer rl.mu.RUnlock()
+	out := make(map[string]latency.Stats, len(rl.routes))
+	for route, h := range rl.routes {
+		out[route] = h.Snapshot()
+	}
+	return out
+}
+
+// LatencyStats returns per-route request-latency summaries (count, mean,
+// p50/p95/p99, max) accumulated by the logging middleware since startup.
+func (s *Server) LatencyStats() map[string]latency.Stats {
+	return s.lat.snapshot()
+}
+
+// latencyDoc is the JSON rendering of one route's latency summary, in
+// milliseconds for human legibility (BENCH reports keep nanoseconds).
+type latencyDoc struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func newLatencyDoc(st latency.Stats) latencyDoc {
+	const ms = 1e6
+	return latencyDoc{
+		Count:  st.Count,
+		MeanMs: st.MeanNs / ms,
+		P50Ms:  st.P50Ns / ms,
+		P95Ms:  st.P95Ns / ms,
+		P99Ms:  st.P99Ns / ms,
+		MaxMs:  st.MaxNs / ms,
+	}
+}
+
+// latencyDocs renders every route's summary; stable output order comes
+// from the JSON encoder (maps marshal sorted by key).
+func (s *Server) latencyDocs() map[string]latencyDoc {
+	stats := s.LatencyStats()
+	out := make(map[string]latencyDoc, len(stats))
+	for r, st := range stats {
+		out[r] = newLatencyDoc(st)
+	}
+	return out
+}

@@ -37,15 +37,25 @@ func (s *Server) withLogging(log *slog.Logger, next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		// The mux sets r.Pattern while routing, so after ServeHTTP it holds
+		// the matched route. Unmatched requests (404s, wrong-method 405s)
+		// collapse into one sentinel bucket — keying them by raw path would
+		// let arbitrary clients grow the histogram map without bound.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.lat.observe(route, dur)
 		log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"duration_ms", float64(time.Since(t0).Microseconds())/1000,
+			"duration_ms", float64(dur.Microseconds())/1000,
 			"snapshot", sw.Header().Get(snapshotHeader),
 		)
 	})

@@ -84,6 +84,7 @@ type Server struct {
 	log   *slog.Logger
 	cur   atomic.Pointer[snapshot]
 	cache *lruCache
+	lat   *routeLatency
 	start time.Time
 
 	// reloadMu serializes snapshot builds; readers never touch it.
@@ -133,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		log:   log,
 		cache: newLRUCache(cfg.CacheSize),
+		lat:   newRouteLatency(),
 		start: time.Now(),
 	}
 	if _, err := s.Reload(cfg.Seed); err != nil {

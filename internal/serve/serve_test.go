@@ -249,6 +249,52 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestStatsReportsLatencyPercentiles pins the middleware → histogram →
+// /v1/stats plumbing: after a few requests, the stats payload carries
+// per-route percentiles keyed by the matched mux pattern.
+func TestStatsReportsLatencyPercentiles(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u, v := anyEdge(s)
+	for i := 0; i < 5; i++ {
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/edge?u=%d&v=%d", ts.URL, u, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var doc struct {
+		Latency map[string]struct {
+			Count int64   `json:"count"`
+			P50Ms float64 `json:"p50_ms"`
+			P99Ms float64 `json:"p99_ms"`
+			MaxMs float64 `json:"max_ms"`
+		} `json:"latency_ms"`
+	}
+	if resp := getJSON(t, ts, "/v1/stats", &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	edge, ok := doc.Latency["GET /v1/edge"]
+	if !ok {
+		t.Fatalf("latency_ms missing the edge route: %v", doc.Latency)
+	}
+	if edge.Count != 5 {
+		t.Errorf("edge route count = %d, want 5", edge.Count)
+	}
+	if edge.P50Ms <= 0 || edge.P99Ms < edge.P50Ms || edge.MaxMs < edge.P99Ms {
+		t.Errorf("implausible percentiles: %+v", edge)
+	}
+
+	// The exported accessor mirrors the endpoint.
+	stats := s.LatencyStats()
+	if stats["GET /v1/edge"].Count != 5 {
+		t.Errorf("LatencyStats edge count = %d, want 5", stats["GET /v1/edge"].Count)
+	}
+}
+
 func TestReloadSwapsSnapshot(t *testing.T) {
 	s := testServer(t)
 	ts := httptest.NewServer(s.Handler())
