@@ -6,9 +6,10 @@
 //	locec-bench -suite smoke -out BENCH_smoke.json
 //
 // Compare two recordings and fail (exit 1) on any scenario slower than
-// the threshold (flags must precede the positional new-report path):
+// the wall-clock threshold or allocating beyond the allocation threshold
+// (flags must precede the positional new-report path):
 //
-//	locec-bench -diff bench/baseline.json -threshold 0.30 BENCH_smoke.json
+//	locec-bench -diff bench/baseline.json -threshold 0.30 -allocs-threshold 0.50 BENCH_smoke.json
 //
 // List the available suites:
 //
@@ -36,14 +37,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("locec-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		suite     = fs.String("suite", "smoke", "suite to run (see -list)")
-		out       = fs.String("out", "", "output path (default BENCH_<suite>.json)")
-		list      = fs.Bool("list", false, "list suites and their scenarios, then exit")
-		diff      = fs.String("diff", "", "baseline BENCH json; compares the positional new json against it and exits 1 on regression")
-		threshold = fs.Float64("threshold", bench.DefaultThreshold, "regression gate for -diff: fail when ns/op grows by more than this fraction")
-		warmup    = fs.Int("warmup", 0, "untimed runs per scenario (0 = harness default)")
-		reps      = fs.Int("reps", 0, "measured repetitions per scenario (0 = harness default)")
-		quiet     = fs.Bool("q", false, "suppress per-repetition progress")
+		suite      = fs.String("suite", "smoke", "suite to run (see -list)")
+		out        = fs.String("out", "", "output path (default BENCH_<suite>.json)")
+		list       = fs.Bool("list", false, "list suites and their scenarios, then exit")
+		diff       = fs.String("diff", "", "baseline BENCH json; compares the positional new json against it and exits 1 on regression")
+		threshold  = fs.Float64("threshold", bench.DefaultThreshold, "regression gate for -diff: fail when ns/op grows by more than this fraction (0 or negative falls back to the default)")
+		allocsGate = fs.Float64("allocs-threshold", bench.DefaultAllocsThreshold, "allocation gate for -diff: fail when allocs/op grows by more than this fraction (0 falls back to the default, negative disables)")
+		warmup     = fs.Int("warmup", 0, "untimed runs per scenario (0 = harness default)")
+		reps       = fs.Int("reps", 0, "measured repetitions per scenario (0 = harness default)")
+		quiet      = fs.Bool("q", false, "suppress per-repetition progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *list:
 		return runList(stdout, stderr)
 	case *diff != "":
-		return runDiff(*diff, fs.Args(), *threshold, stdout, stderr)
+		return runDiff(*diff, fs.Args(), *threshold, *allocsGate, stdout, stderr)
 	default:
 		return runSuite(*suite, *out, *warmup, *reps, *quiet, stdout, stderr)
 	}
@@ -74,7 +76,7 @@ func runList(stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runDiff(oldPath string, args []string, threshold float64, stdout, stderr io.Writer) int {
+func runDiff(oldPath string, args []string, threshold, allocsThreshold float64, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
 		fmt.Fprintln(stderr, "locec-bench: -diff needs exactly one positional argument: the new BENCH json (usage: locec-bench -diff old.json new.json)")
 		return 2
@@ -89,7 +91,7 @@ func runDiff(oldPath string, args []string, threshold float64, stdout, stderr io
 		fmt.Fprintln(stderr, "locec-bench:", err)
 		return 2
 	}
-	d := bench.Diff(old, new, threshold)
+	d := bench.Diff(old, new, threshold, allocsThreshold)
 	d.Format(stdout)
 	if len(d.Regressions()) > 0 {
 		return 1

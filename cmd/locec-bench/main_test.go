@@ -138,3 +138,41 @@ func TestSmokeSuiteWritesValidReport(t *testing.T) {
 		t.Errorf("self-diff exit = %d:\n%s%s", got, dout.String(), derr.String())
 	}
 }
+
+// writeReportAllocs stores a BENCH json whose only scenario carries an
+// allocation count, for allocation-gate CLI tests.
+func writeReportAllocs(t *testing.T, dir, name string, nsPerOp, allocs float64) string {
+	t.Helper()
+	r := bench.Report{
+		SchemaVersion: bench.SchemaVersion,
+		Suite:         "smoke",
+		GitSHA:        "test",
+		GoVersion:     "go1.24.0",
+		Results: []bench.ScenarioResult{
+			{Scenario: "pipeline/xgb/n=100/density=base", Reps: 3, OpsPerRep: 1, NsPerOp: nsPerOp, AllocsPerOp: allocs},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffAllocsGateExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReportAllocs(t, dir, "old.json", 1000, 100)
+	bloated := writeReportAllocs(t, dir, "bloat.json", 1000, 200) // flat time, 2x allocs
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-diff", base, bloated}, &stdout, &stderr); got != 1 {
+		t.Errorf("allocation regression exit = %d, want 1:\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "ALLOC-REGRESSION") {
+		t.Errorf("allocation regression not reported:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if got := run([]string{"-diff", base, "-allocs-threshold", "-1", bloated}, &stdout, &stderr); got != 0 {
+		t.Errorf("disabled allocs gate exit = %d, want 0:\n%s", got, stdout.String())
+	}
+}

@@ -10,6 +10,13 @@ import (
 // this fraction of its baseline fails the diff (0.30 = +30% wall clock).
 const DefaultThreshold = 0.30
 
+// DefaultAllocsThreshold is the allocation regression gate: a scenario
+// allocating more than this fraction over its baseline allocs_per_op
+// fails the diff. Allocation counts are far less noisy than wall clock,
+// but map growth and GC-triggered laziness still wiggle a few percent, so
+// the default gate is +50%.
+const DefaultAllocsThreshold = 0.50
+
 // DiffEntry compares one scenario across two reports.
 type DiffEntry struct {
 	Scenario string  `json:"scenario"`
@@ -18,12 +25,19 @@ type DiffEntry struct {
 	// Delta is (new-old)/old: +0.25 means 25% slower, -0.10 10% faster.
 	Delta      float64 `json:"delta"`
 	Regression bool    `json:"regression"`
+
+	OldAllocs float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs float64 `json:"new_allocs_per_op,omitempty"`
+	// AllocsDelta mirrors Delta for allocs_per_op.
+	AllocsDelta      float64 `json:"allocs_delta,omitempty"`
+	AllocsRegression bool    `json:"allocs_regression,omitempty"`
 }
 
 // DiffReport is the outcome of comparing two suite reports.
 type DiffReport struct {
-	Threshold float64     `json:"threshold"`
-	Entries   []DiffEntry `json:"entries"`
+	Threshold       float64     `json:"threshold"`
+	AllocsThreshold float64     `json:"allocs_threshold,omitempty"`
+	Entries         []DiffEntry `json:"entries"`
 	// OnlyOld / OnlyNew list scenarios present in just one report;
 	// they never gate, but the output surfaces them so renames and
 	// dropped coverage stay visible.
@@ -32,16 +46,22 @@ type DiffReport struct {
 }
 
 // Diff matches scenarios by name and flags every one whose ns/op grew by
-// more than threshold (<= 0 uses DefaultThreshold).
-func Diff(old, new Report, threshold float64) DiffReport {
+// more than threshold (<= 0 uses DefaultThreshold) or whose allocs/op
+// grew by more than allocsThreshold (< 0 disables the allocation gate;
+// 0 uses DefaultAllocsThreshold). Scenarios with a zero baseline
+// allocation count never allocation-gate.
+func Diff(old, new Report, threshold, allocsThreshold float64) DiffReport {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
+	}
+	if allocsThreshold == 0 {
+		allocsThreshold = DefaultAllocsThreshold
 	}
 	oldBy := make(map[string]ScenarioResult, len(old.Results))
 	for _, r := range old.Results {
 		oldBy[r.Scenario] = r
 	}
-	d := DiffReport{Threshold: threshold}
+	d := DiffReport{Threshold: threshold, AllocsThreshold: allocsThreshold}
 	seen := make(map[string]bool, len(new.Results))
 	for _, nr := range new.Results {
 		seen[nr.Scenario] = true
@@ -50,10 +70,18 @@ func Diff(old, new Report, threshold float64) DiffReport {
 			d.OnlyNew = append(d.OnlyNew, nr.Scenario)
 			continue
 		}
-		e := DiffEntry{Scenario: nr.Scenario, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		e := DiffEntry{
+			Scenario: nr.Scenario,
+			OldNs:    or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
 		if or.NsPerOp > 0 {
 			e.Delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
 			e.Regression = e.Delta > threshold
+		}
+		if or.AllocsPerOp > 0 {
+			e.AllocsDelta = (nr.AllocsPerOp - or.AllocsPerOp) / or.AllocsPerOp
+			e.AllocsRegression = allocsThreshold > 0 && e.AllocsDelta > allocsThreshold
 		}
 		d.Entries = append(d.Entries, e)
 	}
@@ -68,11 +96,11 @@ func Diff(old, new Report, threshold float64) DiffReport {
 	return d
 }
 
-// Regressions returns the entries beyond the threshold, slowest first.
+// Regressions returns the entries beyond either threshold, slowest first.
 func (d DiffReport) Regressions() []DiffEntry {
 	var out []DiffEntry
 	for _, e := range d.Entries {
-		if e.Regression {
+		if e.Regression || e.AllocsRegression {
 			out = append(out, e)
 		}
 	}
@@ -81,14 +109,19 @@ func (d DiffReport) Regressions() []DiffEntry {
 
 // Format writes a human-readable comparison table.
 func (d DiffReport) Format(w io.Writer) {
-	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "scenario", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %12s %9s\n",
+		"scenario", "old ns/op", "new ns/op", "delta", "allocs/op", "Δallocs")
 	for _, e := range d.Entries {
 		mark := ""
 		if e.Regression {
 			mark = "  REGRESSION"
 		}
-		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n",
-			e.Scenario, e.OldNs, e.NewNs, e.Delta*100, mark)
+		if e.AllocsRegression {
+			mark += "  ALLOC-REGRESSION"
+		}
+		allocs := fmt.Sprintf("%.0f→%.0f", e.OldAllocs, e.NewAllocs)
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%% %12s %+8.1f%%%s\n",
+			e.Scenario, e.OldNs, e.NewNs, e.Delta*100, allocs, e.AllocsDelta*100, mark)
 	}
 	for _, s := range d.OnlyOld {
 		fmt.Fprintf(w, "%-44s (only in old report)\n", s)
@@ -97,8 +130,10 @@ func (d DiffReport) Format(w io.Writer) {
 		fmt.Fprintf(w, "%-44s (only in new report)\n", s)
 	}
 	if n := len(d.Regressions()); n > 0 {
-		fmt.Fprintf(w, "\n%d scenario(s) regressed beyond +%.0f%%\n", n, d.Threshold*100)
+		fmt.Fprintf(w, "\n%d scenario(s) regressed beyond +%.0f%% ns/op or +%.0f%% allocs/op\n",
+			n, d.Threshold*100, d.AllocsThreshold*100)
 	} else {
-		fmt.Fprintf(w, "\nno regressions beyond +%.0f%%\n", d.Threshold*100)
+		fmt.Fprintf(w, "\nno regressions beyond +%.0f%% ns/op, +%.0f%% allocs/op\n",
+			d.Threshold*100, d.AllocsThreshold*100)
 	}
 }

@@ -20,7 +20,7 @@ func TestDiffImprovementNoChangeRegression(t *testing.T) {
 		ScenarioResult{Scenario: "b", NsPerOp: 1000}, // unchanged
 		ScenarioResult{Scenario: "c", NsPerOp: 1400}, // 40% slower
 	)
-	d := Diff(old, new, 0.30)
+	d := Diff(old, new, 0.30, 0.50)
 	if len(d.Entries) != 3 {
 		t.Fatalf("entries = %d, want 3", len(d.Entries))
 	}
@@ -50,11 +50,11 @@ func TestDiffImprovementNoChangeRegression(t *testing.T) {
 func TestDiffAtExactThresholdPasses(t *testing.T) {
 	old := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1000})
 	new := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1300})
-	if regs := Diff(old, new, 0.30).Regressions(); len(regs) != 0 {
+	if regs := Diff(old, new, 0.30, 0.50).Regressions(); len(regs) != 0 {
 		t.Errorf("exactly +30%% flagged as regression: %+v", regs)
 	}
 	new = reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1301})
-	if regs := Diff(old, new, 0.30).Regressions(); len(regs) != 1 {
+	if regs := Diff(old, new, 0.30, 0.50).Regressions(); len(regs) != 1 {
 		t.Errorf("+30.1%% not flagged: %+v", regs)
 	}
 }
@@ -62,7 +62,7 @@ func TestDiffAtExactThresholdPasses(t *testing.T) {
 func TestDiffDefaultThreshold(t *testing.T) {
 	old := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1000})
 	new := reportWith(ScenarioResult{Scenario: "a", NsPerOp: 1350})
-	if regs := Diff(old, new, 0).Regressions(); len(regs) != 1 {
+	if regs := Diff(old, new, 0, 0).Regressions(); len(regs) != 1 {
 		t.Errorf("threshold 0 should fall back to DefaultThreshold: %+v", regs)
 	}
 }
@@ -76,7 +76,7 @@ func TestDiffDisjointScenarios(t *testing.T) {
 		ScenarioResult{Scenario: "kept", NsPerOp: 100},
 		ScenarioResult{Scenario: "added", NsPerOp: 100},
 	)
-	d := Diff(old, new, 0.30)
+	d := Diff(old, new, 0.30, 0.50)
 	if len(d.Entries) != 1 || d.Entries[0].Scenario != "kept" {
 		t.Errorf("entries = %+v, want just kept", d.Entries)
 	}
@@ -95,15 +95,56 @@ func TestDiffFormatMentionsRegressions(t *testing.T) {
 	old := reportWith(ScenarioResult{Scenario: "hot/path", NsPerOp: 1000})
 	new := reportWith(ScenarioResult{Scenario: "hot/path", NsPerOp: 2000})
 	var sb strings.Builder
-	Diff(old, new, 0.30).Format(&sb)
+	Diff(old, new, 0.30, 0.50).Format(&sb)
 	out := sb.String()
 	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "hot/path") {
 		t.Errorf("formatted diff missing regression marker:\n%s", out)
 	}
 
 	sb.Reset()
-	Diff(old, old, 0.30).Format(&sb)
+	Diff(old, old, 0.30, 0.50).Format(&sb)
 	if !strings.Contains(sb.String(), "no regressions") {
 		t.Errorf("clean diff should say so:\n%s", sb.String())
+	}
+}
+
+func TestDiffAllocsGate(t *testing.T) {
+	old := reportWith(
+		ScenarioResult{Scenario: "hot", NsPerOp: 1000, AllocsPerOp: 100},
+		ScenarioResult{Scenario: "zero", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	new := reportWith(
+		ScenarioResult{Scenario: "hot", NsPerOp: 1000, AllocsPerOp: 200}, // +100% allocs, flat time
+		ScenarioResult{Scenario: "zero", NsPerOp: 1000, AllocsPerOp: 50},
+	)
+	d := Diff(old, new, 0.30, 0.50)
+	regs := d.Regressions()
+	if len(regs) != 1 || regs[0].Scenario != "hot" || !regs[0].AllocsRegression || regs[0].Regression {
+		t.Fatalf("allocs gate wrong: %+v", regs)
+	}
+	// A zero-alloc baseline never allocation-gates (no meaningful ratio).
+	for _, e := range d.Entries {
+		if e.Scenario == "zero" && e.AllocsRegression {
+			t.Fatal("zero-baseline scenario gated on allocs")
+		}
+	}
+	// Negative threshold disables the allocation gate entirely.
+	if regs := Diff(old, new, 0.30, -1).Regressions(); len(regs) != 0 {
+		t.Fatalf("disabled allocs gate still fired: %+v", regs)
+	}
+	// Improvements never gate.
+	better := reportWith(ScenarioResult{Scenario: "hot", NsPerOp: 900, AllocsPerOp: 10})
+	if regs := Diff(old, better, 0.30, 0.50).Regressions(); len(regs) != 0 {
+		t.Fatalf("allocation improvement flagged: %+v", regs)
+	}
+}
+
+func TestDiffFormatShowsAllocs(t *testing.T) {
+	old := reportWith(ScenarioResult{Scenario: "s", NsPerOp: 1000, AllocsPerOp: 100})
+	new := reportWith(ScenarioResult{Scenario: "s", NsPerOp: 1000, AllocsPerOp: 400})
+	var sb strings.Builder
+	Diff(old, new, 0.30, 0.50).Format(&sb)
+	if !strings.Contains(sb.String(), "ALLOC-REGRESSION") {
+		t.Errorf("formatted diff missing alloc regression marker:\n%s", sb.String())
 	}
 }

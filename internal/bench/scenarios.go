@@ -12,6 +12,7 @@ import (
 	"locec/internal/core"
 	"locec/internal/graph"
 	"locec/internal/serve"
+	"locec/internal/social"
 )
 
 // densityName labels the standard density multipliers in scenario names.
@@ -72,6 +73,91 @@ func PipelineScenario(users int, density float64) Scenario {
 					return err
 				}
 				m.RecordPhases(res.Times)
+				return nil
+			}, nil
+		},
+	}
+}
+
+// TrainCommCNNScenario measures Phase II CommCNN training alone — the
+// cost our pipeline profiles show dominating end-to-end runs, and the
+// workload the im2col/GEMM + scratch-buffer engine in internal/nn is
+// built for. Phase I runs once in Prepare; each repetition trains a fresh
+// classifier on the same labeled communities.
+func TrainCommCNNScenario(users, epochs int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("train/commcnn/n=%d/epochs=%d", users, epochs),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"epochs":     fmt.Sprint(epochs),
+			"classifier": "cnn",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			egos := core.Divide(ds, core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1})
+			var comms []*core.LocalCommunity
+			var labels []social.Label
+			for _, er := range egos {
+				for _, c := range er.Comms {
+					if l := c.TruthLabel(); l.Valid() {
+						comms = append(comms, c)
+						labels = append(labels, l)
+					}
+				}
+			}
+			if len(comms) == 0 {
+				return nil, fmt.Errorf("bench: fixture has no labeled communities")
+			}
+			return func(m *M) error {
+				cl := &core.CNNClassifier{K: 20, Epochs: epochs, Seed: 1}
+				t0 := time.Now()
+				if err := cl.Fit(ds, comms, labels); err != nil {
+					return err
+				}
+				m.RecordPhase("training", time.Since(t0))
+				return nil
+			}, nil
+		},
+	}
+}
+
+// CombineScenario measures Phase III alone: logistic-regression training
+// on the labeled edge features plus prediction over every edge, on a
+// pipeline result whose Phases I+II were computed once in Prepare. This
+// isolates the parallel chunked combiner and its flat prediction stores.
+func CombineScenario(users int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("combine/n=%d", users),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			p := core.NewPipeline(core.Config{
+				Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+				Classifier: &core.XGBClassifier{Seed: 1},
+				Seed:       1,
+			})
+			res, err := p.Run(ds)
+			if err != nil {
+				return nil, err
+			}
+			return func(m *M) error {
+				shell := &core.Result{Egos: res.Egos, Communities: res.Communities}
+				t0 := time.Now()
+				if err := p.Combine(ds, shell); err != nil {
+					return err
+				}
+				m.RecordPhase("combination", time.Since(t0))
 				return nil
 			}, nil
 		},

@@ -40,6 +40,22 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Errorf("ops_per_rep = %d, want 50", look.OpsPerRep)
 	}
 
+	train, err := RunScenario(TrainCommCNNScenario(50, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NsPerOp <= 0 || train.PhaseNs["training"] <= 0 {
+		t.Errorf("train scenario missing measurements: %+v", train)
+	}
+
+	comb, err := RunScenario(CombineScenario(50), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.NsPerOp <= 0 || comb.PhaseNs["combination"] <= 0 {
+		t.Errorf("combine scenario missing measurements: %+v", comb)
+	}
+
 	if _, err := RunScenario(DivideScenario("nosuch", 50), opt); err == nil {
 		t.Error("unknown detector accepted")
 	}

@@ -15,6 +15,8 @@ var suites = map[string]func() []Scenario{
 	"smoke": func() []Scenario {
 		return []Scenario{
 			PipelineScenario(100, 1.0),
+			TrainCommCNNScenario(100, 6),
+			CombineScenario(100),
 			DivideScenario("labelprop", 100),
 			ServeLookupScenario(100, 400),
 			ServeClassifyScenario(100, 16, 400),

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/social"
+	"locec/internal/wechat"
+)
+
+func combineFixture(t *testing.T) *social.Dataset {
+	t.Helper()
+	net, err := wechat.Generate(wechat.DefaultConfig(80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunSurvey(0.4, 11)
+	return net.Dataset
+}
+
+// TestCombineStandaloneMatchesRun re-runs Phase III alone on a finished
+// pipeline result and checks the parallel chunked combiner reproduces the
+// full run's predictions and probabilities exactly.
+func TestCombineStandaloneMatchesRun(t *testing.T) {
+	ds := combineFixture(t)
+	p := NewPipeline(Config{
+		Division:   DivisionConfig{Detector: DetectorLabelProp, Seed: 1},
+		Classifier: &XGBClassifier{Seed: 1},
+		Seed:       1,
+	})
+	res, err := p.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redo := &Result{Egos: res.Egos, Communities: res.Communities}
+	if err := p.Combine(ds, redo); err != nil {
+		t.Fatal(err)
+	}
+	if len(redo.Predictions) != len(res.Predictions) {
+		t.Fatalf("prediction count %d, want %d", len(redo.Predictions), len(res.Predictions))
+	}
+	for k, want := range res.Predictions {
+		if got := redo.Predictions[k]; got != want {
+			t.Fatalf("edge %d: prediction %v, want %v", k, got, want)
+		}
+	}
+	for k, want := range res.Probabilities {
+		got := redo.Probabilities[k]
+		if len(got) != len(want) {
+			t.Fatalf("edge %d: probs len %d, want %d", k, len(got), len(want))
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("edge %d class %d: prob %g, want %g", k, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+// TestCombineProbabilitiesWellFormed checks every edge got a probability
+// vector summing to 1 and a prediction matching its argmax — on both the
+// LR combiner and the agreement-rule ablation (which share the flat
+// storage and fan-out).
+func TestCombineProbabilitiesWellFormed(t *testing.T) {
+	ds := combineFixture(t)
+	for _, agreement := range []bool{false, true} {
+		p := NewPipeline(Config{
+			Division:      DivisionConfig{Detector: DetectorLabelProp, Seed: 1},
+			Classifier:    &XGBClassifier{Seed: 1},
+			AgreementRule: agreement,
+			Seed:          1,
+		})
+		res, err := p.Run(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Predictions) != ds.G.NumEdges() {
+			t.Fatalf("agreement=%v: %d predictions for %d edges", agreement, len(res.Predictions), ds.G.NumEdges())
+		}
+		for k, probs := range res.Probabilities {
+			sum := 0.0
+			for _, v := range probs {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 && sum != 0 {
+				t.Fatalf("agreement=%v edge %d: probs sum %v", agreement, k, sum)
+			}
+			if !agreement {
+				if got, want := res.Predictions[k], social.Label(Argmax(probs)); got != want {
+					t.Fatalf("agreement=%v edge %d: prediction %v, argmax %v", agreement, k, got, want)
+				}
+			}
+		}
+	}
+}

@@ -144,16 +144,21 @@ func PooledFeatures(ds *social.Dataset, c *LocalCommunity) []float64 {
 // communities: [tightness(u,Cu), tightness(v,Cv), r_Cu, r_Cv]. Endpoints
 // are ordered canonically (u < v) so train and predict agree.
 func EdgeFeatureVector(egoResults []*EgoResult, u, v graph.NodeID) []float64 {
+	return AppendEdgeFeatures(nil, egoResults, u, v)
+}
+
+// AppendEdgeFeatures appends f⟨u,v⟩ to dst and returns the extended slice
+// — the allocation-free form of EdgeFeatureVector for combiner workers
+// that reuse one scratch buffer per chunk (pass dst[:0]).
+func AppendEdgeFeatures(dst []float64, egoResults []*EgoResult, u, v graph.NodeID) []float64 {
 	if u > v {
 		u, v = v, u
 	}
 	// Cu: community u resides in within v's ego network, and vice versa.
 	cu, tu := egoResults[v].CommunityOf(u)
 	cv, tv := egoResults[u].CommunityOf(v)
-	ru, rv := cu.Result, cv.Result
-	out := make([]float64, 0, 2+len(ru)+len(rv))
-	out = append(out, tu, tv)
-	out = append(out, ru...)
-	out = append(out, rv...)
-	return out
+	dst = append(dst, tu, tv)
+	dst = append(dst, cu.Result...)
+	dst = append(dst, cv.Result...)
+	return dst
 }

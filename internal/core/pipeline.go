@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"locec/internal/graph"
@@ -143,74 +145,148 @@ func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 tim
 
 	// ---- Phase III: combination -------------------------------------
 	t0 = time.Now()
-	if p.cfg.AgreementRule {
-		p.combineByAgreement(ds, res)
-		res.Times.Phase3 = time.Since(t0)
-		return res, nil
+	if err := p.Combine(ds, res); err != nil {
+		return nil, err
 	}
-	labeled := ds.LabeledEdges()
-	if len(labeled) == 0 {
-		return nil, fmt.Errorf("core: phase III requires labeled edges")
-	}
-	X := make([][]float64, 0, len(labeled))
-	y := make([]int, 0, len(labeled))
-	for _, k := range labeled {
-		e := graph.EdgeFromKey(k)
-		X = append(X, EdgeFeatureVector(res.Egos, e.U, e.V))
-		y = append(y, int(ds.TrueLabels[k]))
-	}
-	lr, err := logreg.Train(X, y, p.cfg.Combiner)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase III training: %w", err)
-	}
-	res.Predictions = make(map[uint64]social.Label, ds.G.NumEdges())
-	res.Probabilities = make(map[uint64][]float64, ds.G.NumEdges())
-	ds.G.ForEachEdge(func(u, v graph.NodeID) {
-		k := (graph.Edge{U: u, V: v}).Key()
-		probs := lr.PredictProba(EdgeFeatureVector(res.Egos, u, v))
-		res.Probabilities[k] = probs
-		best, bi := -1.0, 0
-		for c, pr := range probs {
-			if pr > best {
-				best, bi = pr, c
-			}
-		}
-		res.Predictions[k] = social.Label(bi)
-	})
 	res.Times.Phase3 = time.Since(t0)
 	return res, nil
 }
 
+// Combine runs Phase III on a Result whose Egos already carry classified
+// communities (Phases I+II done), filling res.Predictions and
+// res.Probabilities for every edge. RunWithEgos calls it as its final
+// stage; benchmarks call it directly to isolate combiner cost.
+//
+// Edge prediction fans out over GOMAXPROCS workers in contiguous edge
+// chunks. Each worker reuses one feature-vector scratch buffer and writes
+// into disjoint ranges of preallocated flat stores (one []float64 backing
+// all probability vectors), so the per-edge cost is free of allocation;
+// the map views are filled in a single serial pass afterwards.
+func (p *Pipeline) Combine(ds *social.Dataset, res *Result) error {
+	if p.cfg.AgreementRule {
+		p.combineByAgreement(ds, res)
+		return nil
+	}
+	labeled := ds.LabeledEdges()
+	if len(labeled) == 0 {
+		return fmt.Errorf("core: phase III requires labeled edges")
+	}
+	// Training matrix: every row has the same width (2 tightness values +
+	// two fixed-width r_C embeddings), so one flat backing array serves
+	// all rows; the first appended row reveals the width.
+	var flatX []float64
+	X := make([][]float64, len(labeled))
+	y := make([]int, len(labeled))
+	featW := 0
+	for i, k := range labeled {
+		e := graph.EdgeFromKey(k)
+		flatX = AppendEdgeFeatures(flatX, res.Egos, e.U, e.V)
+		if i == 0 {
+			featW = len(flatX)
+			grown := make([]float64, featW, len(labeled)*featW)
+			copy(grown, flatX)
+			flatX = grown
+		}
+		X[i] = flatX[i*featW : (i+1)*featW]
+		y[i] = int(ds.TrueLabels[k])
+	}
+	lr, err := logreg.Train(X, y, p.cfg.Combiner)
+	if err != nil {
+		return fmt.Errorf("core: phase III training: %w", err)
+	}
+	edges := ds.G.Edges()
+	classes := lr.Classes
+	preds := make([]social.Label, len(edges))
+	probsFlat := make([]float64, len(edges)*classes)
+	forEachEdgeChunk(edges, func(lo, hi int) {
+		feat := make([]float64, 0, featW)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			feat = AppendEdgeFeatures(feat[:0], res.Egos, e.U, e.V)
+			out := probsFlat[i*classes : (i+1)*classes]
+			lr.PredictProbaInto(feat, out)
+			preds[i] = social.Label(Argmax(out))
+		}
+	})
+	res.publish(edges, preds, probsFlat, classes)
+	return nil
+}
+
 // combineByAgreement labels every edge with the ablation rule: agreeing
 // endpoint communities decide directly; disagreements fall back to the
-// tightness-weighted sum of the two probability vectors.
+// tightness-weighted sum of the two probability vectors. It shares the
+// chunked fan-out and flat probability storage with Combine.
 func (p *Pipeline) combineByAgreement(ds *social.Dataset, res *Result) {
-	res.Predictions = make(map[uint64]social.Label, ds.G.NumEdges())
-	res.Probabilities = make(map[uint64][]float64, ds.G.NumEdges())
-	ds.G.ForEachEdge(func(u, v graph.NodeID) {
-		k := (graph.Edge{U: u, V: v}).Key()
-		cu, tu := res.Egos[v].CommunityOf(u)
-		cv, tv := res.Egos[u].CommunityOf(v)
-		blended := make([]float64, social.NumLabels)
-		total := 0.0
-		for c := 0; c < social.NumLabels; c++ {
-			blended[c] = tu*cu.Probs[c] + tv*cv.Probs[c]
-			total += blended[c]
-		}
-		if total > 0 {
-			for c := range blended {
-				blended[c] /= total
+	edges := ds.G.Edges()
+	classes := social.NumLabels
+	preds := make([]social.Label, len(edges))
+	probsFlat := make([]float64, len(edges)*classes)
+	forEachEdgeChunk(edges, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, v := edges[i].U, edges[i].V
+			cu, tu := res.Egos[v].CommunityOf(u)
+			cv, tv := res.Egos[u].CommunityOf(v)
+			blended := probsFlat[i*classes : (i+1)*classes]
+			total := 0.0
+			for c := 0; c < classes; c++ {
+				blended[c] = tu*cu.Probs[c] + tv*cv.Probs[c]
+				total += blended[c]
+			}
+			if total > 0 {
+				for c := range blended {
+					blended[c] /= total
+				}
+			}
+			lu := social.Label(Argmax(cu.Probs))
+			lv := social.Label(Argmax(cv.Probs))
+			if lu == lv {
+				preds[i] = lu
+			} else {
+				preds[i] = social.Label(Argmax(blended))
 			}
 		}
-		lu := social.Label(Argmax(cu.Probs))
-		lv := social.Label(Argmax(cv.Probs))
-		if lu == lv {
-			res.Predictions[k] = lu
-		} else {
-			res.Predictions[k] = social.Label(Argmax(blended))
-		}
-		res.Probabilities[k] = blended
 	})
+	res.publish(edges, preds, probsFlat, classes)
+}
+
+// forEachEdgeChunk splits the edge list into one contiguous chunk per
+// GOMAXPROCS worker and runs fn(lo, hi) on each concurrently. Workers
+// write to disjoint index ranges, so fn needs no locking.
+func forEachEdgeChunk(edges []graph.Edge, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(edges) < 2*workers {
+		workers = 1
+	}
+	if workers == 1 {
+		fn(0, len(edges))
+		return
+	}
+	chunk := (len(edges) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(edges); lo += chunk {
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// publish exposes the flat per-edge prediction stores through the public
+// map views. Every probability vector is a subslice of one backing array.
+func (r *Result) publish(edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) {
+	r.Predictions = make(map[uint64]social.Label, len(edges))
+	r.Probabilities = make(map[uint64][]float64, len(edges))
+	for i, e := range edges {
+		k := e.Key()
+		r.Predictions[k] = preds[i]
+		r.Probabilities[k] = probsFlat[i*classes : (i+1)*classes]
+	}
 }
 
 // Argmax returns the index of the largest value (0 for empty input).

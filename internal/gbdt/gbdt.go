@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"locec/internal/tensor"
 )
@@ -138,6 +138,14 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 		hess[c] = make([]float64, n)
 	}
 	m := &Model{cfg: cfg, features: nf}
+	// Split-finding scratch shared by every tree: the exact greedy search
+	// re-sorts (value,row) pairs at every node, which used to dominate both
+	// the CPU profile (sort.Slice reflection) and the allocation count
+	// (fresh vals/left/right slices per node). The builder now owns the
+	// buffers and partitions rows in place.
+	b := &builder{X: X, cfg: cfg}
+	rows := make([]int, 0, n)
+	colBuf := make([]int, 0, nf)
 	for round := 0; round < cfg.Rounds; round++ {
 		// Softmax gradients/hessians from current margins.
 		for i := 0; i < n; i++ {
@@ -152,7 +160,7 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			}
 		}
 		// Row subsample (shared across the round's class trees).
-		rows := make([]int, 0, n)
+		rows = rows[:0]
 		for i := 0; i < n; i++ {
 			if cfg.Subsample >= 1 || rng.Float64() < cfg.Subsample {
 				rows = append(rows, i)
@@ -162,18 +170,18 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			rows = append(rows, rng.Intn(n))
 		}
 		// Column subsample.
-		cols := make([]int, 0, nf)
+		colBuf = colBuf[:0]
 		for f := 0; f < nf; f++ {
 			if cfg.ColSample >= 1 || rng.Float64() < cfg.ColSample {
-				cols = append(cols, f)
+				colBuf = append(colBuf, f)
 			}
 		}
-		if len(cols) == 0 {
-			cols = append(cols, rng.Intn(nf))
+		if len(colBuf) == 0 {
+			colBuf = append(colBuf, rng.Intn(nf))
 		}
 		roundTrees := make([]*Tree, cfg.Classes)
 		for c := 0; c < cfg.Classes; c++ {
-			t := buildTree(X, grad[c], hess[c], rows, cols, cfg)
+			t := b.buildTree(grad[c], hess[c], rows, colBuf)
 			roundTrees[c] = t
 			for i := 0; i < n; i++ {
 				v, _ := t.predict(X[i])
@@ -185,6 +193,8 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// builder carries the training set plus reusable split-finding scratch.
+// Only nodes is (re)allocated per tree — it is retained inside the Tree.
 type builder struct {
 	X     [][]float64
 	grad  []float64
@@ -192,16 +202,34 @@ type builder struct {
 	cols  []int
 	cfg   Config
 	nodes []node
+	vals  []fv  // per-node (value,row) sort scratch
+	part  []int // stable-partition scratch
 }
 
-func buildTree(X [][]float64, grad, hess []float64, rows, cols []int, cfg Config) *Tree {
-	b := &builder{X: X, grad: grad, hess: hess, cols: cols, cfg: cfg}
+// fv pairs one sample's feature value with its row index for split sorting.
+type fv struct {
+	v   float64
+	row int
+}
+
+// buildTree grows one regression tree over rows. rows is permuted in place
+// by the recursive partitioning.
+func (b *builder) buildTree(grad, hess []float64, rows, cols []int) *Tree {
+	b.grad, b.hess, b.cols = grad, hess, cols
+	b.nodes = nil // retained by the returned Tree
+	if cap(b.vals) < len(rows) {
+		b.vals = make([]fv, 0, len(rows))
+	}
+	if cap(b.part) < len(rows) {
+		b.part = make([]int, 0, len(rows))
+	}
 	b.split(rows, 0)
 	return &Tree{Nodes: b.nodes}
 }
 
 // split grows the subtree over the given sample rows and returns its node
-// index.
+// index. rows is reordered in place (stable left|right partition) before
+// recursing, so child calls operate on subslices — no per-node allocation.
 func (b *builder) split(rows []int, depth int) int {
 	var G, H float64
 	for _, i := range rows {
@@ -218,17 +246,26 @@ func (b *builder) split(rows []int, depth int) int {
 	bestFeat := -1
 	bestThresh := 0.0
 	parentScore := G * G / (H + b.cfg.Lambda)
-	type fv struct {
-		v   float64
-		row int
-	}
-	vals := make([]fv, 0, len(rows))
 	for _, f := range b.cols {
-		vals = vals[:0]
+		vals := b.vals[:0]
 		for _, i := range rows {
 			vals = append(vals, fv{b.X[i][f], i})
 		}
-		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		// slices.SortFunc compiles to a monomorphic pdqsort — unlike
+		// sort.Slice there is no reflection Swapper and no closure state
+		// allocated per call. Ties may land in any order; split decisions
+		// only happen at distinct-value boundaries, so the result is the
+		// same tree.
+		slices.SortFunc(vals, func(a, c fv) int {
+			switch {
+			case a.v < c.v:
+				return -1
+			case a.v > c.v:
+				return 1
+			default:
+				return 0
+			}
+		})
 		var GL, HL float64
 		for k := 0; k < len(vals)-1; k++ {
 			GL += b.grad[vals[k].row]
@@ -251,19 +288,27 @@ func (b *builder) split(rows []int, depth int) int {
 	if bestFeat < 0 {
 		return idx
 	}
-	var left, right []int
+	// Stable partition rows into left|right around the threshold, keeping
+	// the original relative order on both sides (identical trees to the
+	// old append-based construction).
+	part := b.part[:0]
 	for _, i := range rows {
 		if b.X[i][bestFeat] < bestThresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+			part = append(part, i)
 		}
 	}
-	if len(left) == 0 || len(right) == 0 {
+	nl := len(part)
+	if nl == 0 || nl == len(rows) {
 		return idx
 	}
-	li := b.split(left, depth+1)
-	ri := b.split(right, depth+1)
+	for _, i := range rows {
+		if !(b.X[i][bestFeat] < bestThresh) {
+			part = append(part, i)
+		}
+	}
+	copy(rows, part)
+	li := b.split(rows[:nl], depth+1)
+	ri := b.split(rows[nl:], depth+1)
 	b.nodes[idx] = node{Feature: bestFeat, Threshold: bestThresh, Left: li, Right: ri}
 	return idx
 }

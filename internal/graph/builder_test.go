@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestBuilderCSRSortedWithoutPerNodeSort stresses the counting-sort CSR
+// fill: under random insertion orders, duplicates both ways round, and
+// interleaved HasEdge queries, every adjacency list must come out sorted
+// and duplicate-free.
+func TestBuilderCSRSortedWithoutPerNodeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 60
+	b := NewBuilder(n)
+	type pair struct{ u, v NodeID }
+	var added []pair
+	for i := 0; i < 900; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, pair{u, v})
+		if i%7 == 0 {
+			// Interleave lazy-sorted queries with mutation.
+			if !b.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) false right after AddEdge", u, v)
+			}
+		}
+		if i%5 == 0 {
+			_ = b.AddEdge(v, u) // duplicate, reversed orientation
+		}
+	}
+	want := map[uint64]bool{}
+	for _, p := range added {
+		want[(Edge{p.u, p.v}).Key()] = true
+	}
+	if b.NumEdges() != len(want) {
+		t.Fatalf("builder NumEdges = %d, want %d", b.NumEdges(), len(want))
+	}
+	g := b.Build()
+	if g.NumEdges() != len(want) {
+		t.Fatalf("graph NumEdges = %d, want %d", g.NumEdges(), len(want))
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(NodeID(u))
+		if !slices.IsSorted(ns) {
+			t.Fatalf("node %d adjacency not sorted: %v", u, ns)
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i] == ns[i-1] {
+				t.Fatalf("node %d has duplicate neighbor %d", u, ns[i])
+			}
+		}
+		for _, v := range ns {
+			if !want[(Edge{NodeID(u), v}).Key()] {
+				t.Fatalf("phantom edge {%d,%d}", u, v)
+			}
+		}
+		total += len(ns)
+	}
+	if total != 2*len(want) {
+		t.Fatalf("directed entry count %d, want %d", total, 2*len(want))
+	}
+}
+
+// TestBuilderSortedFastPath checks the in-order append optimization: keys
+// added in ascending canonical order never trigger a deferred sort, and
+// consecutive duplicate adds are dropped immediately.
+func TestBuilderSortedFastPath(t *testing.T) {
+	b := NewBuilder(5)
+	for _, e := range [][2]NodeID{{0, 1}, {0, 1}, {0, 2}, {1, 2}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.sorted {
+		t.Fatal("ascending adds lost the sorted invariant")
+	}
+	if b.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", b.NumEdges())
+	}
+	// An out-of-order add must flip the flag and still dedup on Build.
+	if err := b.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.sorted {
+		t.Fatal("out-of-order add kept the sorted flag")
+	}
+	g := b.Build()
+	if g.NumEdges() != 5 || !g.HasEdge(0, 3) {
+		t.Fatalf("built graph wrong: m=%d", g.NumEdges())
+	}
+}

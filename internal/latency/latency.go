@@ -97,12 +97,10 @@ func (h *Histogram) bucketMid(i int) float64 {
 		return float64(h.maxNs.Load())
 	}
 	upper := bounds[i]
-	lower := upper / growth
-	if i == 0 {
-		lower = 0
+	if i == 0 { // first bucket starts at 0: arithmetic midpoint
 		return upper / 2
 	}
-	return math.Sqrt(lower * upper)
+	return math.Sqrt(upper / growth * upper)
 }
 
 // Stats is a point-in-time summary of a histogram.

@@ -116,13 +116,23 @@ func (m *Model) logits(x []float64, out []float64) {
 
 // PredictProba returns class probabilities for x.
 func (m *Model) PredictProba(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	m.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto writes class probabilities for x into out (length
+// Classes) without allocating — the batch-prediction hot path of the
+// Phase III combiner.
+func (m *Model) PredictProbaInto(x, out []float64) {
 	if len(x) != m.Features {
 		panic(fmt.Sprintf("logreg: expected %d features, got %d", m.Features, len(x)))
 	}
-	out := make([]float64, m.Classes)
+	if len(out) != m.Classes {
+		panic(fmt.Sprintf("logreg: expected %d-class output, got %d", m.Classes, len(out)))
+	}
 	m.logits(x, out)
 	tensor.Softmax(out, out)
-	return out
 }
 
 // Predict returns the argmax class for x.

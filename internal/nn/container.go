@@ -62,6 +62,10 @@ type ParallelConcat struct {
 	Branches []Layer
 	sizes    []int // flattened output size per branch (set during Forward)
 	inShape  [3]int
+
+	out         *tensor.Tensor
+	gradIn      *tensor.Tensor
+	branchGrads []*tensor.Tensor // per-branch backward scratch
 }
 
 // NewParallelConcat creates the container.
@@ -82,33 +86,42 @@ func (p *ParallelConcat) OutShape(c, h, w int) (int, int, int) {
 // Forward implements Layer.
 func (p *ParallelConcat) Forward(x *tensor.Tensor) *tensor.Tensor {
 	p.inShape = [3]int{x.C, x.H, x.W}
-	p.sizes = p.sizes[:0]
-	var flat []float64
-	for _, b := range p.Branches {
-		out := b.Forward(x)
-		p.sizes = append(p.sizes, out.Size())
-		flat = append(flat, out.Data...)
+	if p.sizes == nil {
+		p.sizes = make([]int, len(p.Branches))
 	}
-	t := tensor.NewTensor(1, 1, len(flat))
-	copy(t.Data, flat)
-	return t
+	_, _, total := p.OutShape(x.C, x.H, x.W)
+	p.out = tensor.EnsureTensor(p.out, 1, 1, total)
+	off := 0
+	for i, b := range p.Branches {
+		// Branch outputs are distinct scratch tensors (one per layer
+		// instance), so copying after each branch is safe.
+		bo := b.Forward(x)
+		p.sizes[i] = bo.Size()
+		copy(p.out.Data[off:off+bo.Size()], bo.Data)
+		off += bo.Size()
+	}
+	return p.out
 }
 
 // Backward implements Layer.
 func (p *ParallelConcat) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(p.inShape[0], p.inShape[1], p.inShape[2])
+	p.gradIn = tensor.EnsureTensor(p.gradIn, p.inShape[0], p.inShape[1], p.inShape[2])
+	p.gradIn.Zero()
+	if p.branchGrads == nil {
+		p.branchGrads = make([]*tensor.Tensor, len(p.Branches))
+	}
 	off := 0
 	for i, b := range p.Branches {
 		sz := p.sizes[i]
 		// Reconstruct branch-shaped gradient from the flat slice.
 		bc, bh, bw := b.OutShape(p.inShape[0], p.inShape[1], p.inShape[2])
-		bg := tensor.NewTensor(bc, bh, bw)
-		copy(bg.Data, gradOut.Data[off:off+sz])
+		p.branchGrads[i] = tensor.EnsureTensor(p.branchGrads[i], bc, bh, bw)
+		copy(p.branchGrads[i].Data, gradOut.Data[off:off+sz])
 		off += sz
-		gi := b.Backward(bg)
-		gradIn.AddScaled(gi, 1)
+		gi := b.Backward(p.branchGrads[i])
+		p.gradIn.AddScaled(gi, 1)
 	}
-	return gradIn
+	return p.gradIn
 }
 
 // Params implements Layer.

@@ -23,6 +23,12 @@ const (
 // Conv2D is a stride-1 2-D convolution (cross-correlation) with an
 // arbitrary rectangular kernel and per-output-channel bias. It supports the
 // paper's square (3×3), wide (1×F), long (k×1) and pointwise (1×1) kernels.
+//
+// Execution lowers the input to an im2col patch matrix and runs one GEMM
+// per direction (tensor.MatMul and friends), so all four kernel shapes
+// share the same tight inner loop; 1×1 kernels skip the lowering and
+// multiply against the input directly. All intermediates live in
+// per-instance scratch buffers reused across calls.
 type Conv2D struct {
 	InC, OutC int
 	KH, KW    int
@@ -32,6 +38,15 @@ type Conv2D struct {
 	bias   *Param // length OutC
 
 	lastIn *tensor.Tensor // memoized input for Backward
+
+	// Scratch: the im2col patch matrix is (InC·KH·KW) × (OH·OW) with the
+	// patch-row index ordered (ic, kh, kw) to match the weight layout, so
+	// forward is out = W·cols (+bias) and the GEMM accumulation order
+	// matches the naive loop nest exactly.
+	cols     []float64
+	gradCols []float64
+	out      *tensor.Tensor
+	gradIn   *tensor.Tensor
 }
 
 // NewConv2D creates the layer and He-initializes its weights from rng.
@@ -69,6 +84,88 @@ func (c *Conv2D) padOffsets() (int, int) {
 	return 0, 0
 }
 
+// pointwise reports whether the kernel is 1×1, in which case the im2col
+// matrix is the input itself and the lowering is skipped entirely.
+func (c *Conv2D) pointwise() bool { return c.KH == 1 && c.KW == 1 }
+
+// im2col writes the patch matrix for x into cols: row r = (ic·KH+i)·KW+j
+// holds, for every output position (y,xw), the input value at
+// (ic, y+i-po, xw+j-pl), with zeros where the kernel overhangs the border.
+// Each row is filled with row-wise copies of the input, so the cost is a
+// handful of memmoves per kernel tap rather than per-element address math.
+func (c *Conv2D) im2col(x *tensor.Tensor, cols []float64, oh, ow int) {
+	po, pl := c.padOffsets()
+	p := oh * ow
+	r := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chanBase := ic * x.H * x.W
+		for i := 0; i < c.KH; i++ {
+			for j := 0; j < c.KW; j++ {
+				dst := cols[r*p : (r+1)*p]
+				r++
+				shift := j - pl
+				lo := max(0, -shift)
+				hi := min(ow, x.W-shift)
+				if hi < lo {
+					hi = lo
+				}
+				for y := 0; y < oh; y++ {
+					iy := y + i - po
+					drow := dst[y*ow : (y+1)*ow]
+					if iy < 0 || iy >= x.H {
+						for t := range drow {
+							drow[t] = 0
+						}
+						continue
+					}
+					srow := x.Data[chanBase+iy*x.W : chanBase+(iy+1)*x.W]
+					for t := 0; t < lo; t++ {
+						drow[t] = 0
+					}
+					copy(drow[lo:hi], srow[lo+shift:hi+shift])
+					for t := hi; t < ow; t++ {
+						drow[t] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatter-adds the patch-matrix gradient back onto the input
+// gradient — the exact adjoint of im2col (border zeros receive nothing).
+func (c *Conv2D) col2im(gradCols []float64, gradIn *tensor.Tensor, oh, ow int) {
+	po, pl := c.padOffsets()
+	p := oh * ow
+	r := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chanBase := ic * gradIn.H * gradIn.W
+		for i := 0; i < c.KH; i++ {
+			for j := 0; j < c.KW; j++ {
+				src := gradCols[r*p : (r+1)*p]
+				r++
+				shift := j - pl
+				lo := max(0, -shift)
+				hi := min(ow, gradIn.W-shift)
+				if hi < lo {
+					hi = lo
+				}
+				for y := 0; y < oh; y++ {
+					iy := y + i - po
+					if iy < 0 || iy >= gradIn.H {
+						continue
+					}
+					srow := src[y*ow : (y+1)*ow]
+					irow := gradIn.Data[chanBase+iy*gradIn.W : chanBase+(iy+1)*gradIn.W]
+					for t := lo; t < hi; t++ {
+						irow[t+shift] += srow[t]
+					}
+				}
+			}
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.C != c.InC {
@@ -79,77 +176,63 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: conv kernel %dx%d larger than input %dx%d", c.KH, c.KW, x.H, x.W))
 	}
-	po, pl := c.padOffsets()
-	out := tensor.NewTensor(c.OutC, oh, ow)
+	p := oh * ow
+	kk := c.InC * c.KH * c.KW
+	cols := x.Data
+	if !c.pointwise() {
+		c.cols = tensor.EnsureFloats(c.cols, kk*p)
+		c.im2col(x, c.cols, oh, ow)
+		cols = c.cols
+	}
+	c.out = tensor.EnsureTensor(c.out, c.OutC, oh, ow)
+	tensor.MatMul(c.out.Data, c.weight.W, cols, c.OutC, kk, p)
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.bias.W[oc]
-		for y := 0; y < oh; y++ {
-			for xw := 0; xw < ow; xw++ {
-				s := b
-				for ic := 0; ic < c.InC; ic++ {
-					for i := 0; i < c.KH; i++ {
-						iy := y + i - po
-						if iy < 0 || iy >= x.H {
-							continue
-						}
-						for j := 0; j < c.KW; j++ {
-							ix := xw + j - pl
-							if ix < 0 || ix >= x.W {
-								continue
-							}
-							s += c.weight.W[c.wIdx(oc, ic, i, j)] * x.At(ic, iy, ix)
-						}
-					}
-				}
-				out.Set(oc, y, xw, s)
-			}
+		row := c.out.Data[oc*p : (oc+1)*p]
+		for i := range row {
+			row[i] += b
 		}
 	}
-	return out
+	return c.out
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	x := c.lastIn
-	po, pl := c.padOffsets()
-	gradIn := tensor.NewTensor(x.C, x.H, x.W)
+	oh, ow := gradOut.H, gradOut.W
+	p := oh * ow
+	kk := c.InC * c.KH * c.KW
 	for oc := 0; oc < c.OutC; oc++ {
-		for y := 0; y < gradOut.H; y++ {
-			for xw := 0; xw < gradOut.W; xw++ {
-				g := gradOut.At(oc, y, xw)
-				if g == 0 {
-					continue
-				}
-				c.bias.G[oc] += g
-				for ic := 0; ic < c.InC; ic++ {
-					for i := 0; i < c.KH; i++ {
-						iy := y + i - po
-						if iy < 0 || iy >= x.H {
-							continue
-						}
-						for j := 0; j < c.KW; j++ {
-							ix := xw + j - pl
-							if ix < 0 || ix >= x.W {
-								continue
-							}
-							wi := c.wIdx(oc, ic, i, j)
-							c.weight.G[wi] += g * x.At(ic, iy, ix)
-							gradIn.Data[gradIn.Idx(ic, iy, ix)] += g * c.weight.W[wi]
-						}
-					}
-				}
-			}
+		g := 0.0
+		for _, v := range gradOut.Data[oc*p : (oc+1)*p] {
+			g += v
 		}
+		c.bias.G[oc] += g
 	}
-	return gradIn
+	c.gradIn = tensor.EnsureTensor(c.gradIn, x.C, x.H, x.W)
+	if c.pointwise() {
+		// cols is the input itself; gradCols is the input gradient.
+		tensor.MatMulABTAcc(c.weight.G, gradOut.Data, x.Data, c.OutC, kk, p)
+		tensor.MatMulATB(c.gradIn.Data, c.weight.W, gradOut.Data, c.OutC, kk, p)
+		return c.gradIn
+	}
+	tensor.MatMulABTAcc(c.weight.G, gradOut.Data, c.cols, c.OutC, kk, p)
+	c.gradCols = tensor.EnsureFloats(c.gradCols, kk*p)
+	tensor.MatMulATB(c.gradCols, c.weight.W, gradOut.Data, c.OutC, kk, p)
+	c.gradIn.Zero()
+	c.col2im(c.gradCols, c.gradIn, oh, ow)
+	return c.gradIn
 }
 
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
 
-// Clone implements Layer: shares Params, private activation state.
+// Clone implements Layer: shares Params; activation state and every
+// scratch buffer are reset so the clone owns private memory.
 func (c *Conv2D) Clone() Layer {
 	cp := *c
 	cp.lastIn = nil
+	cp.cols, cp.gradCols = nil, nil
+	cp.out, cp.gradIn = nil, nil
 	return &cp
 }

@@ -10,7 +10,9 @@ import (
 
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
-	mask []bool
+	mask   []uint8 // 1 where the input was positive
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewReLU creates the layer.
@@ -21,26 +23,31 @@ func (r *ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.NewTensor(x.C, x.H, x.W)
-	r.mask = make([]bool, len(x.Data))
+	r.out = tensor.EnsureTensor(r.out, x.C, x.H, x.W)
+	r.mask = ensureU8(r.mask, len(x.Data))
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
+			r.out.Data[i] = v
+			r.mask[i] = 1
+		} else {
+			r.out.Data[i] = 0
+			r.mask[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(gradOut.C, gradOut.H, gradOut.W)
+	r.gradIn = tensor.EnsureTensor(r.gradIn, gradOut.C, gradOut.H, gradOut.W)
 	for i, on := range r.mask {
-		if on {
-			gradIn.Data[i] = gradOut.Data[i]
+		if on != 0 {
+			r.gradIn.Data[i] = gradOut.Data[i]
+		} else {
+			r.gradIn.Data[i] = 0
 		}
 	}
-	return gradIn
+	return r.gradIn
 }
 
 // Params implements Layer.
@@ -53,6 +60,8 @@ func (r *ReLU) Clone() Layer { return NewReLU() }
 // underlying data but records the input shape for Backward.
 type Flatten struct {
 	c, h, w int
+	out     *tensor.Tensor
+	gradIn  *tensor.Tensor
 }
 
 // NewFlatten creates the layer.
@@ -64,16 +73,16 @@ func (f *Flatten) OutShape(c, h, w int) (int, int, int) { return 1, 1, c * h * w
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
 	f.c, f.h, f.w = x.C, x.H, x.W
-	out := tensor.NewTensor(1, 1, x.Size())
-	copy(out.Data, x.Data)
-	return out
+	f.out = tensor.EnsureTensor(f.out, 1, 1, x.Size())
+	copy(f.out.Data, x.Data)
+	return f.out
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(f.c, f.h, f.w)
-	copy(gradIn.Data, gradOut.Data)
-	return gradIn
+	f.gradIn = tensor.EnsureTensor(f.gradIn, f.c, f.h, f.w)
+	copy(f.gradIn.Data, gradOut.Data)
+	return f.gradIn
 }
 
 // Params implements Layer.
@@ -89,6 +98,8 @@ type Dense struct {
 	weight  *Param // Out×In row-major
 	bias    *Param
 	lastIn  *tensor.Tensor
+	out     *tensor.Tensor
+	gradIn  *tensor.Tensor
 }
 
 // NewDense creates the layer and He-initializes its weights from rng.
@@ -119,21 +130,22 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: dense expected %d inputs, got %d", d.In, x.Size()))
 	}
 	d.lastIn = x
-	out := tensor.NewTensor(1, 1, d.Out)
+	d.out = tensor.EnsureTensor(d.out, 1, 1, d.Out)
 	for o := 0; o < d.Out; o++ {
 		s := d.bias.W[o]
 		row := d.weight.W[o*d.In : (o+1)*d.In]
 		for i, v := range x.Data {
 			s += row[i] * v
 		}
-		out.Data[o] = s
+		d.out.Data[o] = s
 	}
-	return out
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(d.lastIn.C, d.lastIn.H, d.lastIn.W)
+	d.gradIn = tensor.EnsureTensor(d.gradIn, d.lastIn.C, d.lastIn.H, d.lastIn.W)
+	d.gradIn.Zero()
 	for o := 0; o < d.Out; o++ {
 		g := gradOut.Data[o]
 		if g == 0 {
@@ -144,10 +156,10 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		grow := d.weight.G[o*d.In : (o+1)*d.In]
 		for i, v := range d.lastIn.Data {
 			grow[i] += g * v
-			gradIn.Data[i] += g * row[i]
+			d.gradIn.Data[i] += g * row[i]
 		}
 	}
-	return gradIn
+	return d.gradIn
 }
 
 // Params implements Layer.
@@ -157,5 +169,6 @@ func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 func (d *Dense) Clone() Layer {
 	cp := *d
 	cp.lastIn = nil
+	cp.out, cp.gradIn = nil, nil
 	return &cp
 }

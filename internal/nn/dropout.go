@@ -19,8 +19,11 @@ type Dropout struct {
 	// training via setTraining.
 	Training bool
 
-	rng  *rand.Rand
-	mask []bool
+	rng    *rand.Rand
+	active bool    // whether the last Forward applied a mask
+	mask   []uint8 // 1 where the activation survived
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewDropout creates the layer with its own deterministic RNG.
@@ -40,35 +43,41 @@ func (d *Dropout) OutShape(c, h, w int) (int, int, int) { return c, h, w }
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if !d.Training || d.Rate == 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
+	d.active = true
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	out := tensor.NewTensor(x.C, x.H, x.W)
-	d.mask = make([]bool, len(x.Data))
+	d.out = tensor.EnsureTensor(d.out, x.C, x.H, x.W)
+	d.mask = ensureU8(d.mask, len(x.Data))
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
-			d.mask[i] = true
-			out.Data[i] = v * scale
+			d.mask[i] = 1
+			d.out.Data[i] = v * scale
+		} else {
+			d.mask[i] = 0
+			d.out.Data[i] = 0
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if d.mask == nil {
+	if !d.active {
 		return gradOut
 	}
 	scale := 1 / (1 - d.Rate)
-	gradIn := tensor.NewTensor(gradOut.C, gradOut.H, gradOut.W)
+	d.gradIn = tensor.EnsureTensor(d.gradIn, gradOut.C, gradOut.H, gradOut.W)
 	for i, on := range d.mask {
-		if on {
-			gradIn.Data[i] = gradOut.Data[i] * scale
+		if on != 0 {
+			d.gradIn.Data[i] = gradOut.Data[i] * scale
+		} else {
+			d.gradIn.Data[i] = 0
 		}
 	}
-	return gradIn
+	return d.gradIn
 }
 
 // Params implements Layer.

@@ -10,9 +10,10 @@ import (
 // columns are covered by a final partial window so no activation is lost
 // (ceil-mode pooling), which matters for the small LoCEC feature matrices.
 type MaxPool2 struct {
-	lastIn  *tensor.Tensor
-	argmax  []int // flat input index chosen per output cell
-	lastOut *tensor.Tensor
+	lastIn *tensor.Tensor
+	argmax []int // flat input index chosen per output cell
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewMaxPool2 creates the layer.
@@ -29,8 +30,8 @@ func (p *MaxPool2) OutShape(c, h, w int) (int, int, int) {
 func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 	p.lastIn = x
 	oc, oh, ow := p.OutShape(x.C, x.H, x.W)
-	out := tensor.NewTensor(oc, oh, ow)
-	p.argmax = make([]int, oc*oh*ow)
+	p.out = tensor.EnsureTensor(p.out, oc, oh, ow)
+	p.argmax = ensureInts(p.argmax, oc*oh*ow)
 	for c := 0; c < x.C; c++ {
 		for y := 0; y < oh; y++ {
 			for xw := 0; xw < ow; xw++ {
@@ -53,23 +54,23 @@ func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 						}
 					}
 				}
-				oi := out.Idx(c, y, xw)
-				out.Data[oi] = best
+				oi := p.out.Idx(c, y, xw)
+				p.out.Data[oi] = best
 				p.argmax[oi] = bestIdx
 			}
 		}
 	}
-	p.lastOut = out
-	return out
+	return p.out
 }
 
 // Backward implements Layer.
 func (p *MaxPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	p.gradIn = tensor.EnsureTensor(p.gradIn, p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	p.gradIn.Zero()
 	for oi, gi := range p.argmax {
-		gradIn.Data[gi] += gradOut.Data[oi]
+		p.gradIn.Data[gi] += gradOut.Data[oi]
 	}
-	return gradIn
+	return p.gradIn
 }
 
 // Params implements Layer.
@@ -84,6 +85,8 @@ func (p *MaxPool2) Clone() Layer { return NewMaxPool2() }
 type GlobalMaxPool struct {
 	lastIn *tensor.Tensor
 	argmax []int
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewGlobalMaxPool creates the layer.
@@ -95,8 +98,8 @@ func (p *GlobalMaxPool) OutShape(c, _, _ int) (int, int, int) { return c, 1, 1 }
 // Forward implements Layer.
 func (p *GlobalMaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 	p.lastIn = x
-	out := tensor.NewTensor(x.C, 1, 1)
-	p.argmax = make([]int, x.C)
+	p.out = tensor.EnsureTensor(p.out, x.C, 1, 1)
+	p.argmax = ensureInts(p.argmax, x.C)
 	hw := x.H * x.W
 	for c := 0; c < x.C; c++ {
 		best := math.Inf(-1)
@@ -108,19 +111,20 @@ func (p *GlobalMaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 				bestIdx = base + i
 			}
 		}
-		out.Data[c] = best
+		p.out.Data[c] = best
 		p.argmax[c] = bestIdx
 	}
-	return out
+	return p.out
 }
 
 // Backward implements Layer.
 func (p *GlobalMaxPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.NewTensor(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	p.gradIn = tensor.EnsureTensor(p.gradIn, p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	p.gradIn.Zero()
 	for c := 0; c < p.lastIn.C; c++ {
-		gradIn.Data[p.argmax[c]] += gradOut.Data[c]
+		p.gradIn.Data[p.argmax[c]] += gradOut.Data[c]
 	}
-	return gradIn
+	return p.gradIn
 }
 
 // Params implements Layer.

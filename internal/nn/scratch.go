@@ -1,0 +1,28 @@
+package nn
+
+// Scratch-buffer helpers shared by the layers. Every layer owns its output
+// tensor, gradient tensor and any masks/argmax indices as persistent
+// per-instance buffers: allocated on first use, reused verbatim while the
+// input shape is stable, and transparently reallocated when it changes.
+// Layer.Clone must hand back a layer with nil scratch — clones are how
+// Fit/Classify get data-parallel isolation, so sharing a buffer across a
+// clone would race. See docs/ARCHITECTURE.md, "Hot path & memory
+// discipline".
+
+// ensureU8 reslices buf to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func ensureU8(buf []uint8, n int) []uint8 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]uint8, n)
+}
+
+// ensureInts reslices buf to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func ensureInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}

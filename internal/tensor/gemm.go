@@ -1,0 +1,131 @@
+package tensor
+
+// Small cache-blocked GEMM kernels backing the im2col convolution path in
+// internal/nn. All operands are dense row-major float64 slices owned by the
+// caller; every kernel writes into a preallocated destination so the hot
+// path performs no allocation. Matrices here are tiny-to-small (tens to a
+// few hundred per side), so the kernels favor a simple i-k-j loop order —
+// the inner loop streams both the B row and the C row contiguously — with
+// one level of blocking to keep the working set in L1/L2 on larger shapes.
+
+// gemm block sizes: bkK rows of B (each bkJ wide) fit comfortably in L1
+// alongside the C row being accumulated.
+const (
+	gemmBlockK = 128
+	gemmBlockJ = 512
+)
+
+// MatMul computes dst = a·b where a is m×k and b is k×n, both row-major.
+// dst must have length m*n; it is fully overwritten. b is consumed in its
+// natural row-major layout (no transpose), so the inner loop is contiguous
+// over both b and dst.
+func MatMul(dst, a, b []float64, m, k, n int) {
+	checkGemm(len(dst), len(a), len(b), m, k, n)
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
+	matMulAcc(dst, a, b, m, k, n)
+}
+
+// MatMulAcc computes dst += a·b with the same shapes as MatMul.
+func MatMulAcc(dst, a, b []float64, m, k, n int) {
+	checkGemm(len(dst), len(a), len(b), m, k, n)
+	matMulAcc(dst, a, b, m, k, n)
+}
+
+func matMulAcc(dst, a, b []float64, m, k, n int) {
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		k1 := min(k0+gemmBlockK, k)
+		for j0 := 0; j0 < n; j0 += gemmBlockJ {
+			j1 := min(j0+gemmBlockJ, n)
+			for i := 0; i < m; i++ {
+				ci := dst[i*n+j0 : i*n+j1]
+				ai := a[i*k : (i+1)*k]
+				for kk := k0; kk < k1; kk++ {
+					av := ai[kk]
+					if av == 0 {
+						continue
+					}
+					bk := b[kk*n+j0 : kk*n+j1]
+					for j, bv := range bk {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b where a is m×k and b is m×n (both
+// row-major), producing the k×n dst. dst is fully overwritten. Used for
+// the convolution input gradient: patchesGrad = Wᵀ·outGrad.
+func MatMulATB(dst, a, b []float64, m, k, n int) {
+	if len(dst) < k*n || len(a) < m*k || len(b) < m*n {
+		panic("tensor: MatMulATB dimension mismatch")
+	}
+	for i := range dst[:k*n] {
+		dst[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		bi := b[i*n : (i+1)*n]
+		for kk, av := range ai {
+			if av == 0 {
+				continue
+			}
+			ck := dst[kk*n : (kk+1)*n]
+			for j, bv := range bi {
+				ck[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTAcc computes dst += a·bᵀ where a is m×p and b is n×p (both
+// row-major), accumulating into the m×n dst. Each dst entry is the dot
+// product of an a row and a b row, so both inner streams are contiguous.
+// Used for the convolution weight gradient: Wgrad += outGrad·patchesᵀ.
+func MatMulABTAcc(dst, a, b []float64, m, n, p int) {
+	if len(dst) < m*n || len(a) < m*p || len(b) < n*p {
+		panic("tensor: MatMulABTAcc dimension mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*p : (i+1)*p]
+		di := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*p : (j+1)*p]
+			s := 0.0
+			for t, av := range ai {
+				s += av * bj[t]
+			}
+			di[j] += s
+		}
+	}
+}
+
+func checkGemm(ld, la, lb, m, k, n int) {
+	if ld < m*n || la < m*k || lb < k*n {
+		panic("tensor: MatMul dimension mismatch")
+	}
+}
+
+// EnsureTensor returns t when it already has shape (c,h,w), otherwise a
+// freshly allocated tensor of that shape. It is the scratch-buffer idiom
+// used throughout internal/nn: buffers persist across calls and are only
+// reallocated when the input shape changes. Contents are unspecified —
+// callers either overwrite every element or Zero() explicitly.
+func EnsureTensor(t *Tensor, c, h, w int) *Tensor {
+	if t != nil && t.C == c && t.H == h && t.W == w {
+		return t
+	}
+	return NewTensor(c, h, w)
+}
+
+// EnsureFloats returns buf resliced to length n, reallocating only when
+// capacity is insufficient. Contents are unspecified.
+func EnsureFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
