@@ -14,8 +14,12 @@
 //	POST /v1/classify             batch lookup: {"edges":[{"u":3,"v":7},...]}
 //	GET  /v1/communities/{node}   a node's ego-network communities
 //	GET  /v1/stats                snapshot, phase times, cache, uptime
-//	POST /v1/reload               classify a fresh dataset, swap atomically
+//	GET  /v1/artifact             download the live snapshot as a .locec file
+//	POST /v1/reload               swap in a new snapshot: {"seed":N} retrains,
+//	                              {"artifact":"path"} loads without training
 //
+// With -artifact the initial snapshot is deserialized from a file written
+// by `locec train -out` instead of trained, so restarts cost O(load).
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -50,6 +54,7 @@ func main() {
 		patience = flag.Int("gn-patience", 20, "Girvan-Newman early-stop patience (0 = exact)")
 		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
 		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
+		artifact = flag.String("artifact", "", "cold-start from a trained artifact (locec train -out) instead of training")
 	)
 	flag.Parse()
 
@@ -65,7 +70,11 @@ func main() {
 		Detector:   *detector,
 		GNPatience: *patience,
 		CacheSize:  *cache,
+		Artifact:   *artifact,
 		Logger:     log,
+	}
+	if *input != "" && *artifact != "" {
+		fatal(fmt.Errorf("-input and -artifact are mutually exclusive"))
 	}
 	if *input != "" {
 		ds, err := loadDataset(*input)
@@ -75,8 +84,12 @@ func main() {
 		cfg.Source = func(int64) (*social.Dataset, error) { return ds, nil }
 	}
 
-	log.Info("building initial snapshot",
-		"users", *users, "variant", *variant, "shards", *shards, "seed", *seed)
+	if *artifact != "" {
+		log.Info("cold-starting from artifact", "path", *artifact)
+	} else {
+		log.Info("building initial snapshot",
+			"users", *users, "variant", *variant, "shards", *shards, "seed", *seed)
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)

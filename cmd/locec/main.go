@@ -5,6 +5,14 @@
 // Usage:
 //
 //	locec -users 1200 -variant cnn -survey 0.4 -seed 42
+//
+// The train subcommand runs the pipeline once and saves the trained
+// snapshot — graph, communities, model weights, every edge prediction —
+// as a versioned binary artifact that locec-serve (or the library's
+// ReadArtifact) can cold-start from without retraining:
+//
+//	locec train -users 1200 -variant xgb -seed 42 -out model.locec
+//	locec-serve -artifact model.locec
 package main
 
 import (
@@ -13,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"locec"
+	"locec/internal/artifact"
 	"locec/internal/eval"
 	"locec/internal/graph"
 	"locec/internal/iodata"
@@ -22,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "train" {
+		runTrain(os.Args[2:])
+		return
+	}
 	var (
 		users   = flag.Int("users", 800, "population size (synthetic mode)")
 		seed    = flag.Int64("seed", 42, "random seed")
@@ -92,6 +106,66 @@ func main() {
 		}
 		fmt.Printf("Predictions written to %s\n", *export)
 	}
+}
+
+// runTrain is the offline half of the train-once / serve-many split: it
+// trains on every revealed label (no held-out split — the artifact is a
+// production snapshot, not an evaluation run) and writes the result as a
+// .locec artifact.
+func runTrain(args []string) {
+	fs := flag.NewFlagSet("locec train", flag.ExitOnError)
+	var (
+		users   = fs.Int("users", 800, "population size (synthetic mode)")
+		seed    = fs.Int64("seed", 42, "random seed")
+		survey  = fs.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
+		variant = fs.String("variant", "cnn", "community classifier: cnn or xgb")
+		k       = fs.Int("k", 16, "feature matrix rows (CommCNN)")
+		epochs  = fs.Int("epochs", 8, "CommCNN training epochs")
+		input   = fs.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
+		out     = fs.String("out", "model.locec", "artifact output path")
+	)
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
+
+	ds, err := loadOrSynthesize(*input, *users, *seed, *survey)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ds.LabeledEdges()) == 0 {
+		fatal(fmt.Errorf("dataset has no revealed labels; generate with -survey or mark edges revealed"))
+	}
+	cfg := locec.Config{K: *k, Epochs: *epochs, Seed: *seed}
+	if *variant == "xgb" {
+		cfg.Variant = locec.VariantXGB
+	}
+	fmt.Printf("locec train: %d users, %d friendships, %d labeled, variant %s\n",
+		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.LabeledEdges()), cfg.Variant)
+
+	res, err := locec.Classify(ds, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := res.Internal().Export()
+	if err != nil {
+		fatal(err)
+	}
+	art, err := artifact.New(ds.G, ex, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	art.StampCreated(time.Now())
+	if err := art.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	training, p1, p2, p3 := res.PhaseDurations()
+	fmt.Printf("trained in %.2fs (training=%.2fs phase1=%.2fs phase2=%.2fs phase3=%.2fs)\n",
+		training+p1+p2+p3, training, p1, p2, p3)
+	fmt.Printf("wrote %s (%d bytes, %d communities, %d edge predictions)\n",
+		*out, info.Size(), res.NumCommunities(), ds.G.NumEdges())
+	fmt.Printf("serve it with: locec-serve -artifact %s\n", *out)
 }
 
 // exportCSV writes one row per edge: u,v,predicted,probabilities.

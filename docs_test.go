@@ -1,0 +1,68 @@
+package locec_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles returns every markdown file the link checker covers: the
+// repo-root documents and everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, sub...)
+}
+
+// TestDocLinks fails on dead relative links in the markdown docs — the
+// drift this repo has actually suffered (renamed docs, moved anchors).
+// External URLs are out of scope: availability of the network is not a
+// property of this repository.
+func TestDocLinks(t *testing.T) {
+	checked := 0
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external
+			case strings.HasPrefix(target, "#"):
+				continue // same-document anchor
+			}
+			// Strip a trailing anchor from a relative path.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link checker found no relative links; is it looking at the right files?")
+	}
+	t.Logf("checked %d relative links across %d files", checked, len(docFiles(t)))
+}

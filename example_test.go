@@ -1,6 +1,7 @@
 package locec_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"locec"
@@ -76,4 +77,51 @@ func ExampleClassify() {
 	// Output:
 	// classifier: LoCEC-XGB
 	// classified 2114 of 2114 friendships
+}
+
+// ExampleResult_WriteArtifact is the offline/online split in miniature:
+// train once, serialize the snapshot (graph, communities, model weights,
+// every prediction) as a versioned binary artifact, restore it in another
+// process with ReadArtifact, and get identical answers without retraining.
+// In production the artifact is a file: `locec train -out model.locec`
+// writes it and `locec-serve -artifact model.locec` cold-starts from it.
+func ExampleResult_WriteArtifact() {
+	net, err := locec.Synthesize(locec.SynthConfig{Users: 150, Seed: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net.RevealSurvey(0.4, 7)
+	res, err := locec.Classify(net.Dataset, locec.Config{
+		Variant: locec.VariantXGB, Workers: 1, Seed: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	var snapshot bytes.Buffer // a file in real deployments
+	if err := res.WriteArtifact(&snapshot, net.Dataset); err != nil {
+		fmt.Println(err)
+		return
+	}
+	restored, err := locec.ReadArtifact(&snapshot)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	identical := true
+	net.Dataset.G.ForEachEdge(func(u, v locec.NodeID) {
+		if restored.Label(u, v) != res.Label(u, v) {
+			identical = false
+		}
+	})
+	fmt.Println("restored without retraining:", restored.ClassifierName())
+	fmt.Println("communities preserved:", restored.NumCommunities() == res.NumCommunities())
+	fmt.Println("predictions identical:", identical)
+	// Output:
+	// restored without retraining: LoCEC-XGB
+	// communities preserved: true
+	// predictions identical: true
 }

@@ -1,5 +1,8 @@
 // Quickstart: build a small friendship graph by hand, label a few edges,
-// and let LoCEC classify the rest.
+// let LoCEC classify the rest — then walk the train→ship→serve split by
+// saving the trained run as a versioned artifact and restoring it without
+// retraining (what `locec train -out` + `locec-serve -artifact` do at
+// production scale).
 //
 // The graph is two social circles around user 0: a family triangle
 // {0,1,2} and a study group {0,3,4,5}, bridged by an acquaintance edge.
@@ -10,6 +13,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"locec"
 )
@@ -98,4 +103,39 @@ func main() {
 		fmt.Printf("  {%d,%d}: predicted %-14s (truth %-14s) %s\n",
 			pair[0], pair[1], got, want, status)
 	}
+
+	// Train once, serve from snapshot: persist the run as a .locec
+	// artifact and restore it in what could be another process on another
+	// machine. The restored result answers identically, with zero
+	// training — the same file format `locec-serve -artifact` cold-starts
+	// from (see docs/FORMATS.md and docs/OPERATIONS.md).
+	path := filepath.Join(os.TempDir(), "quickstart.locec")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteArtifact(f, ds); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	back, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := locec.ReadArtifact(back)
+	_ = back.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	ds.G.ForEachEdge(func(u, v locec.NodeID) {
+		if restored.Label(u, v) != res.Label(u, v) {
+			same = false
+		}
+	})
+	info, _ := os.Stat(path)
+	fmt.Printf("\nartifact round trip: %d bytes, predictions identical: %v\n", info.Size(), same)
+	_ = os.Remove(path)
 }

@@ -1,0 +1,337 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/logreg"
+	"locec/internal/social"
+)
+
+// All multi-byte values are little-endian. Floats are IEEE-754 bit
+// patterns, so round trips are bit-exact. The per-section layouts are
+// documented in docs/FORMATS.md; changing any of them is a format-version
+// bump.
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func getU16(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// cursor walks a section payload with sticky bounds checking: after the
+// first short read every subsequent call returns zero values and err()
+// reports the failure, so decoders read straight-line without per-call
+// error plumbing yet can never index out of range.
+type cursor struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.fail || n < 0 || len(c.b)-c.off < n {
+		c.fail = true
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return getU32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return getU64(b)
+}
+
+func (c *cursor) f64() float64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(getU64(b))
+}
+
+// count reads a uint32 length and bounds it against the bytes remaining
+// given a minimum encoded size per element, so a corrupted length cannot
+// drive a multi-gigabyte allocation.
+func (c *cursor) count(elemSize int) int {
+	n := int(c.u32())
+	if c.fail || n < 0 || (elemSize > 0 && n > (len(c.b)-c.off)/elemSize) {
+		c.fail = true
+		return 0
+	}
+	return n
+}
+
+func (c *cursor) err(what string) error {
+	if c.fail {
+		return fmt.Errorf("%s: payload too short or length corrupt at offset %d", what, c.off)
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%s: %d trailing bytes", what, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// ---- graph section --------------------------------------------------
+
+// encodeGraph serializes the CSR arrays: node count, adjacency length,
+// offsets, then the concatenated neighbor lists.
+func encodeGraph(g *graph.Graph) []byte {
+	offsets, adj := g.CSR()
+	out := make([]byte, 0, 16+4*len(offsets)+4*len(adj))
+	out = appendU64(out, uint64(g.NumNodes()))
+	out = appendU64(out, uint64(len(adj)))
+	for _, o := range offsets {
+		out = appendU32(out, uint32(o))
+	}
+	for _, v := range adj {
+		out = appendU32(out, v)
+	}
+	return out
+}
+
+func decodeGraph(b []byte) (*graph.Graph, error) {
+	c := &cursor{b: b}
+	n := int(c.u64())
+	m := int(c.u64())
+	// Guard with n > budget-1 rather than n+1 > budget: a crafted
+	// n = MaxInt64 overflows n+1 to MinInt64 and would sail past the
+	// check into make([]int32, n+1).
+	if c.fail || n < 0 || m < 0 || n > (len(b)-c.off)/4-1 {
+		return nil, fmt.Errorf("graph header corrupt (n=%d, adj=%d)", n, m)
+	}
+	offsets := make([]int32, n+1)
+	for i := range offsets {
+		offsets[i] = int32(c.u32())
+	}
+	if c.fail || m > (len(b)-c.off)/4 {
+		return nil, fmt.Errorf("graph adjacency truncated")
+	}
+	adj := make([]graph.NodeID, m)
+	for i := range adj {
+		adj[i] = graph.NodeID(c.u32())
+	}
+	if err := c.err("graph"); err != nil {
+		return nil, err
+	}
+	return graph.NewFromCSR(offsets, adj)
+}
+
+// ---- egos section ---------------------------------------------------
+
+// encodeEgos serializes the per-ego Phase I+II output. Per-community
+// member lists and tightness values are not stored: they are recoverable
+// from the ego-level arrays because divideOne fills each community in
+// ego-member order — encodeEgos verifies that invariant and fails loudly
+// if a producer ever breaks it.
+func encodeEgos(egos []*core.EgoResult) ([]byte, error) {
+	out := appendU64(nil, uint64(len(egos)))
+	for _, er := range egos {
+		if er == nil {
+			return nil, fmt.Errorf("nil ego result")
+		}
+		if len(er.CommIdx) != len(er.Members) || len(er.Tightness) != len(er.Members) {
+			return nil, fmt.Errorf("ego %d: ragged member arrays", er.Ego)
+		}
+		out = appendU32(out, er.Ego)
+		out = appendU32(out, uint32(len(er.Members)))
+		for _, m := range er.Members {
+			out = appendU32(out, m)
+		}
+		cursors := make([]int, len(er.Comms))
+		for i, m := range er.Members {
+			ci := er.CommIdx[i]
+			if ci < 0 || ci >= len(er.Comms) {
+				return nil, fmt.Errorf("ego %d: community index %d out of range", er.Ego, ci)
+			}
+			comm := er.Comms[ci]
+			at := cursors[ci]
+			if at >= len(comm.Members) || comm.Members[at] != m || comm.Tightness[at] != er.Tightness[i] {
+				return nil, fmt.Errorf("ego %d: community %d member order diverges from ego arrays", er.Ego, ci)
+			}
+			cursors[ci]++
+			out = appendU32(out, uint32(ci))
+		}
+		for ci, comm := range er.Comms {
+			if cursors[ci] != len(comm.Members) {
+				return nil, fmt.Errorf("ego %d: community %d has %d members unaccounted for",
+					er.Ego, ci, len(comm.Members)-cursors[ci])
+			}
+		}
+		for _, t := range er.Tightness {
+			out = appendF64(out, t)
+		}
+		out = appendU32(out, uint32(len(er.Comms)))
+		for _, comm := range er.Comms {
+			out = appendU32(out, uint32(len(comm.Probs)))
+			for _, p := range comm.Probs {
+				out = appendF64(out, p)
+			}
+			out = appendU32(out, uint32(len(comm.Result)))
+			for _, v := range comm.Result {
+				out = appendF64(out, v)
+			}
+			out = appendU32(out, uint32(len(comm.TruthVotes)))
+			for _, v := range comm.TruthVotes {
+				out = appendU32(out, uint32(int32(v)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func decodeEgos(b []byte) ([]*core.EgoResult, error) {
+	c := &cursor{b: b}
+	n := int(c.u64())
+	if c.fail || n < 0 || n > len(b) {
+		return nil, fmt.Errorf("ego count corrupt")
+	}
+	egos := make([]*core.EgoResult, n)
+	for i := 0; i < n; i++ {
+		er := &core.EgoResult{Ego: graph.NodeID(c.u32())}
+		nm := c.count(4)
+		er.Members = make([]graph.NodeID, nm)
+		for j := range er.Members {
+			er.Members[j] = graph.NodeID(c.u32())
+		}
+		er.CommIdx = make([]int, nm)
+		for j := range er.CommIdx {
+			er.CommIdx[j] = int(c.u32())
+		}
+		er.Tightness = make([]float64, nm)
+		for j := range er.Tightness {
+			er.Tightness[j] = c.f64()
+		}
+		nc := c.count(12)
+		er.Comms = make([]*core.LocalCommunity, nc)
+		for ci := range er.Comms {
+			er.Comms[ci] = &core.LocalCommunity{Ego: er.Ego}
+		}
+		// Rebuild per-community member lists from the ego-level arrays.
+		for j, m := range er.Members {
+			ci := er.CommIdx[j]
+			if ci < 0 || ci >= nc {
+				return nil, fmt.Errorf("ego %d: member %d has community index %d of %d", er.Ego, j, ci, nc)
+			}
+			er.Comms[ci].Members = append(er.Comms[ci].Members, m)
+			er.Comms[ci].Tightness = append(er.Comms[ci].Tightness, er.Tightness[j])
+		}
+		for _, comm := range er.Comms {
+			if np := c.count(8); np > 0 {
+				comm.Probs = make([]float64, np)
+				for j := range comm.Probs {
+					comm.Probs[j] = c.f64()
+				}
+			}
+			if nr := c.count(8); nr > 0 {
+				comm.Result = make([]float64, nr)
+				for j := range comm.Result {
+					comm.Result[j] = c.f64()
+				}
+			}
+			nv := c.count(4)
+			if c.fail {
+				break
+			}
+			if nv != len(comm.TruthVotes) {
+				return nil, fmt.Errorf("ego %d: %d truth-vote classes, this build has %d",
+					er.Ego, nv, len(comm.TruthVotes))
+			}
+			for j := 0; j < nv; j++ {
+				comm.TruthVotes[j] = int(int32(c.u32()))
+			}
+		}
+		if c.fail {
+			break
+		}
+		egos[i] = er
+	}
+	if err := c.err("egos"); err != nil {
+		return nil, err
+	}
+	return egos, nil
+}
+
+// ---- preds section --------------------------------------------------
+
+// encodePreds serializes the Phase III output: edge keys (ascending),
+// one label byte per edge, and the flat probability backing array.
+func encodePreds(ex *core.Export) []byte {
+	out := make([]byte, 0, 12+9*len(ex.EdgeKeys)+8*len(ex.Probabilities))
+	out = appendU64(out, uint64(len(ex.EdgeKeys)))
+	out = appendU32(out, uint32(ex.Classes))
+	for _, k := range ex.EdgeKeys {
+		out = appendU64(out, k)
+	}
+	for _, p := range ex.Predictions {
+		out = append(out, byte(int8(p)))
+	}
+	for _, p := range ex.Probabilities {
+		out = appendF64(out, p)
+	}
+	return out
+}
+
+func decodePreds(b []byte, ex *core.Export) error {
+	c := &cursor{b: b}
+	n := int(c.u64())
+	classes := int(c.u32())
+	if c.fail || n < 0 || classes < 0 || classes > 1024 || n > (len(b)-c.off)/(9+8*max(classes, 1)) {
+		return fmt.Errorf("preds header corrupt (edges=%d, classes=%d)", n, classes)
+	}
+	ex.Classes = classes
+	ex.EdgeKeys = make([]uint64, n)
+	for i := range ex.EdgeKeys {
+		ex.EdgeKeys[i] = c.u64()
+	}
+	labels := c.take(n)
+	ex.Predictions = make([]social.Label, n)
+	for i := range ex.Predictions {
+		if labels != nil {
+			ex.Predictions[i] = social.Label(int8(labels[i]))
+		}
+	}
+	ex.Probabilities = make([]float64, n*classes)
+	for i := range ex.Probabilities {
+		ex.Probabilities[i] = c.f64()
+	}
+	return c.err("preds")
+}
+
+// ---- combiner section -----------------------------------------------
+
+// The combiner reuses logreg's own JSON persistence, whose Load validates
+// the weight-matrix shape — one validator, not two that can drift.
+func encodeCombiner(m *logreg.Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCombiner(b []byte) (*logreg.Model, error) {
+	return logreg.Load(bytes.NewReader(b))
+}

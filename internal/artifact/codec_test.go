@@ -1,0 +1,50 @@
+package artifact
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/core"
+)
+
+// TestDecodeGraphRejectsOverflowingCount pins the crafted-input path CRCs
+// cannot catch: a file whose graph section carries a valid checksum for a
+// hostile node count. n = MaxInt64 once made n+1 overflow past the bounds
+// guard into make([]int32, n+1) — a panic that would crash locec-serve on
+// POST /v1/reload {"artifact":…}.
+func TestDecodeGraphRejectsOverflowingCount(t *testing.T) {
+	for _, n := range []uint64{math.MaxInt64, math.MaxUint64, 1 << 62} {
+		payload := appendU64(nil, n)
+		payload = appendU64(payload, 0) // adj length
+		if _, err := decodeGraph(payload); err == nil {
+			t.Errorf("n=%#x: crafted graph header accepted", n)
+		}
+	}
+	// Sane header with no room for the offsets array must also fail.
+	payload := appendU64(nil, 10)
+	payload = appendU64(payload, 0)
+	if _, err := decodeGraph(payload); err == nil {
+		t.Error("graph header with missing offsets accepted")
+	}
+}
+
+// TestDecodeEgosRejectsOverflowingCount gives the sibling decoder the same
+// hostile counts.
+func TestDecodeEgosRejectsOverflowingCount(t *testing.T) {
+	for _, n := range []uint64{math.MaxInt64, math.MaxUint64, 1 << 62} {
+		if _, err := decodeEgos(appendU64(nil, n)); err == nil {
+			t.Errorf("n=%#x: crafted ego count accepted", n)
+		}
+	}
+}
+
+// TestDecodePredsRejectsOverflowingCount likewise for the preds section.
+func TestDecodePredsRejectsOverflowingCount(t *testing.T) {
+	for _, n := range []uint64{math.MaxInt64, math.MaxUint64, 1 << 62} {
+		payload := appendU64(nil, n)
+		payload = appendU32(payload, 3)
+		if err := decodePreds(payload, &core.Export{}); err == nil {
+			t.Errorf("n=%#x: crafted preds count accepted", n)
+		}
+	}
+}

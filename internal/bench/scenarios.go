@@ -1,14 +1,19 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"locec/internal/artifact"
 	"locec/internal/core"
 	"locec/internal/graph"
 	"locec/internal/serve"
@@ -187,6 +192,157 @@ func DivideScenario(detector string, users int) Scenario {
 				t0 := time.Now()
 				core.Divide(ds, cfg)
 				m.RecordPhase("division", time.Since(t0))
+				return nil
+			}, nil
+		},
+	}
+}
+
+// trainedArtifacts memoizes trainedArtifact per population size, like the
+// Dataset fixture cache: artifact bytes are deterministic for the fixed
+// seeds, and both artifact scenarios share one configuration, so the
+// suite pays for training once, not once per scenario.
+var (
+	trainedArtifactsMu sync.Mutex
+	trainedArtifacts   = map[int][]byte{}
+)
+
+// trainedArtifact trains the standard xgb/labelprop pipeline on a fixture
+// dataset and returns the serialized artifact — the shared setup of the
+// artifact scenarios.
+func trainedArtifact(users int) ([]byte, error) {
+	trainedArtifactsMu.Lock()
+	defer trainedArtifactsMu.Unlock()
+	if data, ok := trainedArtifacts[users]; ok {
+		return data, nil
+	}
+	data, err := buildTrainedArtifact(users)
+	if err != nil {
+		return nil, err
+	}
+	trainedArtifacts[users] = data
+	return data, nil
+}
+
+func buildTrainedArtifact(users int) ([]byte, error) {
+	ds, err := Dataset(users, 1.0, 42)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewPipeline(core.Config{
+		Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+		Classifier: &core.XGBClassifier{Seed: 1},
+		Seed:       1,
+	})
+	res, err := p.Run(ds)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Export()
+	if err != nil {
+		return nil, err
+	}
+	art, err := artifact.New(ds.G, ex, 42)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ArtifactLoadScenario measures the full offline→online restore path:
+// deserialize a trained snapshot (header + checksums + every section) and
+// rebuild a ready-to-serve core.Result via RunFromArtifact. Training runs
+// once in Prepare; the timed body touches no learning code, so this
+// number is what a process restart actually costs once artifacts exist.
+func ArtifactLoadScenario(users int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("artifact/load/n=%d", users),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			data, err := trainedArtifact(users)
+			if err != nil {
+				return nil, err
+			}
+			return func(m *M) error {
+				art, err := artifact.Load(bytes.NewReader(data))
+				if err != nil {
+					return err
+				}
+				if _, err := art.Graph(); err != nil {
+					return err
+				}
+				ex, err := art.Export()
+				if err != nil {
+					return err
+				}
+				res, err := core.NewPipeline(core.Config{}).RunFromArtifact(ex)
+				if err != nil {
+					return err
+				}
+				if len(res.Predictions) == 0 {
+					return fmt.Errorf("bench: loaded artifact has no predictions")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// ServeColdStartScenario measures serve.New cold-starting from an
+// artifact file — the restart path the artifact store exists for. Compare
+// against pipeline/xgb at the same n: the gap is the training time a
+// snapshot-backed restart no longer pays.
+func ServeColdStartScenario(users int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("serve/coldstart/n=%d", users),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			data, err := trainedArtifact(users)
+			if err != nil {
+				return nil, err
+			}
+			// Scenarios have no teardown hook, so use a fixed per-config
+			// path that later runs overwrite rather than leaking a fresh
+			// temp dir per invocation. Write-then-rename keeps the swap
+			// atomic, so a concurrent bench run never reads a torn file.
+			path := filepath.Join(os.TempDir(), fmt.Sprintf("locec-bench-coldstart-n%d.locec", users))
+			tmp, err := os.CreateTemp(os.TempDir(), "locec-bench-coldstart-*")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := tmp.Write(data); err != nil {
+				_ = tmp.Close()
+				_ = os.Remove(tmp.Name())
+				return nil, err
+			}
+			if err := tmp.Close(); err != nil {
+				_ = os.Remove(tmp.Name())
+				return nil, err
+			}
+			if err := os.Rename(tmp.Name(), path); err != nil {
+				_ = os.Remove(tmp.Name())
+				return nil, err
+			}
+			return func(m *M) error {
+				s, err := serve.New(serve.Config{Artifact: path, Logger: discardLogger()})
+				if err != nil {
+					return err
+				}
+				if s.Version() != 1 {
+					return fmt.Errorf("bench: cold-start snapshot version %d", s.Version())
+				}
 				return nil
 			}, nil
 		},

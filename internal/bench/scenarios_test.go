@@ -56,6 +56,27 @@ func TestScenariosEndToEnd(t *testing.T) {
 		t.Errorf("combine scenario missing measurements: %+v", comb)
 	}
 
+	load, err := RunScenario(ArtifactLoadScenario(50), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.NsPerOp <= 0 {
+		t.Errorf("artifact load scenario missing measurements: %+v", load)
+	}
+
+	cold, err := RunScenario(ServeColdStartScenario(50), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.NsPerOp <= 0 {
+		t.Errorf("cold start scenario missing measurements: %+v", cold)
+	}
+	// The whole point of the artifact store: restart ≪ retrain. Even at
+	// n=50 the gap is wide; gate loosely to stay noise-immune.
+	if pipe.NsPerOp > 0 && cold.NsPerOp > pipe.NsPerOp {
+		t.Errorf("cold start (%f ns) slower than full training (%f ns)", cold.NsPerOp, pipe.NsPerOp)
+	}
+
 	if _, err := RunScenario(DivideScenario("nosuch", 50), opt); err == nil {
 		t.Error("unknown detector accepted")
 	}

@@ -20,6 +20,8 @@ var suites = map[string]func() []Scenario{
 			DivideScenario("labelprop", 100),
 			ServeLookupScenario(100, 400),
 			ServeClassifyScenario(100, 16, 400),
+			ArtifactLoadScenario(100),
+			ServeColdStartScenario(100),
 		}
 	},
 	// scale sweeps the population axis (Fig. 12(a) / Table VI regime):

@@ -41,6 +41,9 @@ type CNNClassifier struct {
 	ShuffleRows bool
 
 	net *nn.Network
+	// features is the column width the network was built for, recorded at
+	// Fit/LoadModel time so SaveModel can rebuild the architecture.
+	features int
 }
 
 // Name implements CommunityClassifier.
@@ -49,6 +52,12 @@ func (c *CNNClassifier) Name() string { return "LoCEC-CNN" }
 func (c *CNNClassifier) defaults() {
 	if c.K <= 0 {
 		c.K = 20
+	}
+	if c.Filters <= 0 {
+		c.Filters = nn.DefaultCommCNNFilters
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = nn.DefaultCommCNNHidden
 	}
 	if c.Epochs <= 0 {
 		c.Epochs = 12
@@ -93,6 +102,7 @@ func (c *CNNClassifier) Fit(ds *social.Dataset, comms []*LocalCommunity, labels 
 		Workers: c.Workers, Optimizer: nn.NewAdam(c.LR),
 	})
 	c.net = net
+	c.features = features
 	return nil
 }
 

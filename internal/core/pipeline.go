@@ -69,6 +69,13 @@ type Result struct {
 	Times PhaseTimes
 	// ClassifierName echoes the Phase II model used.
 	ClassifierName string
+	// Classifier is the trained Phase II model instance. It can classify
+	// further communities and, when it implements ModelPersister, its
+	// weights travel with Export into the artifact store.
+	Classifier CommunityClassifier
+	// Combiner is the trained Phase III logistic regression (nil when the
+	// agreement-rule ablation replaced it).
+	Combiner *logreg.Model
 }
 
 // PredictedLabel returns the predicted label for the edge {u,v}.
@@ -113,7 +120,7 @@ func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 tim
 	if len(egos) != ds.G.NumNodes() {
 		return nil, fmt.Errorf("core: %d ego results for %d nodes", len(egos), ds.G.NumNodes())
 	}
-	res := &Result{ClassifierName: p.cfg.Classifier.Name()}
+	res := &Result{ClassifierName: p.cfg.Classifier.Name(), Classifier: p.cfg.Classifier}
 
 	// ---- Phase I: division (precomputed) ----------------------------
 	res.Egos = egos
@@ -194,6 +201,7 @@ func (p *Pipeline) Combine(ds *social.Dataset, res *Result) error {
 	if err != nil {
 		return fmt.Errorf("core: phase III training: %w", err)
 	}
+	res.Combiner = lr
 	edges := ds.G.Edges()
 	classes := lr.Classes
 	preds := make([]social.Label, len(edges))

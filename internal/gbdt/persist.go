@@ -6,7 +6,8 @@ import (
 	"io"
 )
 
-// jsonModel is the serialized form of a trained ensemble.
+// jsonModel is the serialized form of a trained ensemble — the payload of
+// an artifact's "model" section for LoCEC-XGB runs (docs/FORMATS.md).
 type jsonModel struct {
 	Config   Config   `json:"config"`
 	Features int      `json:"features"`

@@ -1,0 +1,72 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the raw compressed-sparse-row arrays backing the graph:
+// offsets has length NumNodes()+1 and node u's sorted neighbor list is
+// adj[offsets[u]:offsets[u+1]]. Both slices alias internal storage and must
+// be treated as read-only. This is the serialization seam the artifact
+// store (internal/artifact, docs/FORMATS.md) uses to write a graph without
+// re-deriving an edge list.
+func (g *Graph) CSR() (offsets []int32, adj []NodeID) {
+	return g.offsets, g.adj
+}
+
+// NewFromCSR builds a Graph directly from CSR arrays, the inverse of CSR.
+// The arrays are validated structurally — monotone offsets, sorted
+// strictly-increasing neighbor lists, in-range endpoints, no self-loops,
+// and full symmetry (v in adj[u] iff u in adj[v]) — so a corrupted or
+// hand-built input yields an error instead of a graph that panics later.
+// The slices are retained, not copied; the caller must not modify them.
+func NewFromCSR(offsets []int32, adj []NodeID) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: csr: empty offsets")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: csr: offsets[0] = %d, want 0", offsets[0])
+	}
+	if int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: csr: offsets end at %d but adjacency has %d entries", offsets[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: csr: odd adjacency length %d (undirected graphs store both directions)", len(adj))
+	}
+	// Validate the whole offsets array before any slicing: an
+	// intermediate offset beyond len(adj) would otherwise panic on the
+	// row slice below even though the final offset checks out.
+	for u := 0; u < n; u++ {
+		if offsets[u] > offsets[u+1] {
+			return nil, fmt.Errorf("graph: csr: offsets decrease at node %d", u)
+		}
+		if int(offsets[u+1]) > len(adj) {
+			return nil, fmt.Errorf("graph: csr: offset %d of node %d exceeds adjacency length %d",
+				offsets[u+1], u, len(adj))
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := adj[offsets[u]:offsets[u+1]]
+		for i, v := range row {
+			if int(v) >= n {
+				return nil, fmt.Errorf("graph: csr: node %d has out-of-range neighbor %d (n=%d)", u, v, n)
+			}
+			if v == NodeID(u) {
+				return nil, fmt.Errorf("graph: csr: self-loop on node %d", u)
+			}
+			if i > 0 && row[i-1] >= v {
+				return nil, fmt.Errorf("graph: csr: neighbors of node %d not strictly increasing", u)
+			}
+		}
+	}
+	g := &Graph{offsets: offsets, adj: adj, m: len(adj) / 2}
+	// Symmetry: every stored arc must have its reverse. Each row is sorted,
+	// so the check is one binary search per arc.
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if !g.HasEdge(v, NodeID(u)) {
+				return nil, fmt.Errorf("graph: csr: asymmetric arc %d->%d", u, v)
+			}
+		}
+	}
+	return g, nil
+}

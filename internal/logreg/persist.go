@@ -6,7 +6,8 @@ import (
 	"io"
 )
 
-// Save writes the trained model as JSON.
+// Save writes the trained model as JSON — also the payload of an
+// artifact's "combiner" section (docs/FORMATS.md).
 func (m *Model) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(m)
 }

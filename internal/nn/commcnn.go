@@ -36,12 +36,20 @@ type CommCNNConfig struct {
 	Seed int64
 }
 
+// Default CommCNN widths, shared with callers (e.g. core.CNNClassifier)
+// that persist the effective architecture and must resolve zero values the
+// same way NewCommCNN does.
+const (
+	DefaultCommCNNFilters = 8
+	DefaultCommCNNHidden  = 64
+)
+
 func (c *CommCNNConfig) defaults() {
 	if c.Filters <= 0 {
-		c.Filters = 8
+		c.Filters = DefaultCommCNNFilters
 	}
 	if c.Hidden <= 0 {
-		c.Hidden = 64
+		c.Hidden = DefaultCommCNNHidden
 	}
 }
 

@@ -15,6 +15,8 @@ type savedParam struct {
 // SaveParams writes every learnable parameter of the network as JSON.
 // The architecture itself is NOT serialized: the loader must rebuild an
 // identical network (same config and layer names) and call LoadParams.
+// core.CNNClassifier.SaveModel pairs this stream with the CommCNN config
+// so trained models travel inside .locec artifacts (docs/FORMATS.md).
 func (n *Network) SaveParams(w io.Writer) error {
 	var out []savedParam
 	for _, p := range n.Root.Params() {

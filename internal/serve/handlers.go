@@ -36,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/communities/{node}", s.handleCommunities)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/artifact", s.handleArtifact)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	return s.withLogging(s.log, mux)
 }
@@ -261,14 +262,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// reloadRequest is the optional POST /v1/reload body.
-type reloadRequest struct {
-	Seed *int64 `json:"seed"`
+// handleArtifact serves the live snapshot as a versioned artifact file —
+// train on this server, `curl -o model.locec`, cold-start another one.
+// The bytes are memoized on the (immutable) snapshot and fully encoded
+// before any header is written, so concurrent downloads share one encode
+// and an export failure is a clean 500, never a 200 with a partial body.
+// Grabbing the snapshot once also keeps the version header, filename and
+// body describing the same snapshot across a concurrent reload.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	data, err := snap.artifactBytes()
+	if err != nil {
+		s.log.Error("artifact export failed", "err", err)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	markSnapshot(w, snap)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("snapshot-v%d.locec", snap.version)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
 }
 
-// handleReload builds and publishes a fresh snapshot. With no body (or no
-// seed), the next seed is the current one plus one so repeated reloads keep
-// producing new datasets.
+// reloadRequest is the optional POST /v1/reload body.
+type reloadRequest struct {
+	// Seed retrains on a fresh dataset for this seed.
+	Seed *int64 `json:"seed"`
+	// Artifact swaps in a pre-trained snapshot from this server-local
+	// file path instead of retraining (see docs/OPERATIONS.md).
+	Artifact string `json:"artifact"`
+}
+
+// handleReload builds and publishes a fresh snapshot: from an artifact
+// file when the body names one (no training), else by retraining on the
+// requested seed. With no body (or no seed), the next seed is the current
+// one plus one so repeated reloads keep producing new datasets.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req reloadRequest
 	if r.Body != nil {
@@ -284,11 +313,18 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if req.Artifact != "" && req.Seed != nil {
+		writeError(w, http.StatusBadRequest, "request both retrains (seed) and loads an artifact; pick one")
+		return
+	}
 	var info SnapshotInfo
 	var err error
-	if req.Seed != nil {
+	switch {
+	case req.Artifact != "":
+		info, err = s.ReloadArtifact(req.Artifact)
+	case req.Seed != nil:
 		info, err = s.Reload(*req.Seed)
-	} else {
+	default:
 		info, err = s.ReloadNext()
 	}
 	if err != nil {

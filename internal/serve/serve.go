@@ -11,12 +11,15 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"locec/internal/artifact"
 	"locec/internal/core"
 	"locec/internal/gbdt"
 	"locec/internal/graph"
@@ -46,6 +49,11 @@ type Config struct {
 	GNPatience int
 	// CacheSize bounds the batch-response LRU cache (0 = 256 entries).
 	CacheSize int
+	// Artifact, when set, cold-starts the initial snapshot from this
+	// artifact file (written by `locec train -out`) instead of training a
+	// pipeline — restart cost becomes O(load), not O(train). Later
+	// seed-based reloads still use Source.
+	Artifact string
 	// Source overrides the dataset source; the default synthesizes a
 	// WeChat-like network from Users/Survey and the given seed.
 	Source func(seed int64) (*social.Dataset, error)
@@ -64,6 +72,38 @@ type snapshot struct {
 	res       *core.Result
 	builtAt   time.Time
 	buildTime time.Duration
+
+	// artOnce memoizes the snapshot's serialized artifact: the snapshot
+	// is immutable, so N concurrent GET /v1/artifact downloads share one
+	// encode and one buffer instead of paying O(edges×classes) each.
+	artOnce  sync.Once
+	artBytes []byte
+	artErr   error
+}
+
+// artifactBytes returns the snapshot serialized as an artifact, encoding
+// on first use.
+func (s *snapshot) artifactBytes() ([]byte, error) {
+	s.artOnce.Do(func() {
+		ex, err := s.res.Export()
+		if err != nil {
+			s.artErr = fmt.Errorf("serve: export: %w", err)
+			return
+		}
+		art, err := artifact.New(s.ds.G, ex, s.seed)
+		if err != nil {
+			s.artErr = fmt.Errorf("serve: export: %w", err)
+			return
+		}
+		art.StampCreated(s.builtAt)
+		var buf bytes.Buffer
+		if err := art.Save(&buf); err != nil {
+			s.artErr = fmt.Errorf("serve: export: %w", err)
+			return
+		}
+		s.artBytes = buf.Bytes()
+	})
+	return s.artBytes, s.artErr
 }
 
 // label returns the predicted label and probability vector for {u,v},
@@ -137,7 +177,11 @@ func New(cfg Config) (*Server, error) {
 		lat:   newRouteLatency(),
 		start: time.Now(),
 	}
-	if _, err := s.Reload(cfg.Seed); err != nil {
+	if cfg.Artifact != "" {
+		if _, err := s.ReloadArtifact(cfg.Artifact); err != nil {
+			return nil, err
+		}
+	} else if _, err := s.Reload(cfg.Seed); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -214,6 +258,70 @@ func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
 		"communities", len(res.Communities),
 		"build_seconds", snap.buildTime.Seconds())
 	return snap.info(), nil
+}
+
+// ReloadArtifact publishes a snapshot deserialized from an artifact file
+// (see internal/artifact and docs/FORMATS.md) — the "ship a trained
+// snapshot, swap it in" half of the offline/online split. No training
+// happens; readers keep serving the previous snapshot until the new one is
+// fully decoded, exactly as with a retrain reload.
+func (s *Server) ReloadArtifact(path string) (SnapshotInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	t0 := time.Now()
+	art, err := artifact.LoadFile(path)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
+	}
+	g, err := art.Graph()
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
+	}
+	ex, err := art.Export()
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
+	}
+	// Mirror RunWithEgos's invariant: handlers index Egos by node ID, so
+	// the ego list and the graph must agree (the artifact layer pins both
+	// to its meta count; this guards the pairing directly).
+	if len(ex.Egos) != g.NumNodes() {
+		return SnapshotInfo{}, fmt.Errorf("serve: artifact has %d ego results for a %d-node graph",
+			len(ex.Egos), g.NumNodes())
+	}
+	res, err := core.NewPipeline(core.Config{Seed: art.Meta().Seed}).RunFromArtifact(ex)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
+	}
+	snap := &snapshot{
+		version: s.version.Add(1),
+		seed:    art.Meta().Seed,
+		// Artifact snapshots carry graph topology but no raw features or
+		// labels; every handler reads only ds.G from the dataset.
+		ds:        &social.Dataset{G: g},
+		res:       res,
+		builtAt:   time.Now(),
+		buildTime: time.Since(t0),
+	}
+	s.cur.Store(snap)
+	s.reloads.Add(1)
+	s.log.Info("snapshot published from artifact",
+		"version", snap.version, "path", path,
+		"nodes", g.NumNodes(), "edges", g.NumEdges(),
+		"communities", len(res.Communities),
+		"load_seconds", snap.buildTime.Seconds())
+	return snap.info(), nil
+}
+
+// ExportArtifact serializes the live snapshot as a versioned artifact —
+// the "train here, ship elsewhere" half of the split. GET /v1/artifact
+// serves this (from the snapshot's memoized encoding).
+func (s *Server) ExportArtifact(w io.Writer) error {
+	data, err := s.current().artifactBytes()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }
 
 // classify runs the three-phase pipeline: the Phase I division is sharded

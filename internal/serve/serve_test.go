@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -425,5 +426,175 @@ func TestNewRejectsUnknownConfig(t *testing.T) {
 	}
 	if _, err := New(Config{Variant: "cnn2", Logger: discardLogger()}); err == nil {
 		t.Fatal("unknown variant accepted")
+	}
+}
+
+// exportToFile writes the live snapshot of s as an artifact file.
+func exportToFile(t *testing.T, s *Server, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExportArtifact(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArtifactColdStartMatchesRetrain is the serving half of the
+// round-trip property: a server cold-started from an exported artifact
+// answers every /v1/edge request with byte-identical JSON to the server
+// that trained the snapshot.
+func TestArtifactColdStartMatchesRetrain(t *testing.T) {
+	trained := testServer(t)
+	path := t.TempDir() + "/model.locec"
+	exportToFile(t, trained, path)
+
+	cold, err := New(Config{Artifact: path, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsTrained := httptest.NewServer(trained.Handler())
+	defer tsTrained.Close()
+	tsCold := httptest.NewServer(cold.Handler())
+	defer tsCold.Close()
+
+	fetch := func(ts *httptest.Server, path string) []byte {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	checked := 0
+	trained.Dataset().G.ForEachEdge(func(u, v graph.NodeID) {
+		if checked >= 50 {
+			return
+		}
+		checked++
+		p := fmt.Sprintf("/v1/edge?u=%d&v=%d", u, v)
+		if a, b := fetch(tsTrained, p), fetch(tsCold, p); !bytes.Equal(a, b) {
+			t.Fatalf("GET %s diverges:\n trained: %s\n cold:    %s", p, a, b)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no edges checked")
+	}
+	// Communities survive too.
+	a := fetch(tsTrained, "/v1/communities/3")
+	b := fetch(tsCold, "/v1/communities/3")
+	// The version field differs (1 vs 1 — both initial snapshots), so the
+	// whole documents should match byte for byte.
+	if !bytes.Equal(a, b) {
+		t.Fatalf("communities diverge:\n trained: %s\n cold:    %s", a, b)
+	}
+}
+
+// TestReloadFromArtifact swaps a snapshot in through POST /v1/reload
+// without retraining.
+func TestReloadFromArtifact(t *testing.T) {
+	s := testServer(t)
+	path := t.TempDir() + "/model.locec"
+	exportToFile(t, s, path)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"artifact":%q}`, path)
+	resp, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info SnapshotInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if info.Version != 2 {
+		t.Fatalf("version %d, want 2", info.Version)
+	}
+	if s.Version() != 2 {
+		t.Fatalf("live version %d, want 2", s.Version())
+	}
+
+	// Both paths in one request is a client error.
+	resp2, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"seed":9,"artifact":%q}`, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("seed+artifact status %d, want 400", resp2.StatusCode)
+	}
+
+	// A missing file is a server-side error, and the old snapshot stays.
+	resp3, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(`{"artifact":"/does/not/exist.locec"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("missing artifact status %d, want 500", resp3.StatusCode)
+	}
+	if s.Version() != 2 {
+		t.Fatalf("failed reload changed version to %d", s.Version())
+	}
+}
+
+// TestArtifactEndpointRoundTrips downloads /v1/artifact and cold-starts
+// a server from the bytes.
+func TestArtifactEndpointRoundTrips(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/downloaded.locec"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(Config{Artifact: path, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cold.Dataset().G.NumEdges(), s.Dataset().G.NumEdges(); got != want {
+		t.Fatalf("cold snapshot has %d edges, want %d", got, want)
+	}
+}
+
+// TestNewArtifactMissingFile pins the cold-start failure mode.
+func TestNewArtifactMissingFile(t *testing.T) {
+	if _, err := New(Config{Artifact: "/does/not/exist.locec", Logger: discardLogger()}); err == nil {
+		t.Fatal("expected error for missing artifact file")
 	}
 }
