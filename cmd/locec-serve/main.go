@@ -17,6 +17,9 @@
 //	GET  /v1/artifact             download the live snapshot as a .locec file
 //	POST /v1/reload               swap in a new snapshot: {"seed":N} retrains,
 //	                              {"artifact":"path"} loads without training
+//	POST /v1/mutations            mutate the live graph (add/remove/relabel
+//	                              edges); only the dirty neighborhood is
+//	                              recomputed and a new snapshot published
 //
 // With -artifact the initial snapshot is deserialized from a file written
 // by `locec train -out` instead of trained, so restarts cost O(load).
@@ -94,6 +97,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -198,6 +198,72 @@ func DivideScenario(detector string, users int) Scenario {
 	}
 }
 
+// IncrementalApplyScenario measures one mutation epoch through the
+// incremental engine: a single-edge add applied to a trained snapshot via
+// core.Pipeline.ApplyMutations (copy-on-write), recomputing only the dirty
+// neighborhood — re-divided egos, re-classified communities, re-predicted
+// incident edges — against the frozen models. Training runs once in
+// Prepare; every repetition applies the same batch to the same base, so
+// the number is the steady-state cost of absorbing a graph change while
+// serving. Compare against pipeline/xgb at the same n: the ratio is what
+// dirty-set propagation saves over retrain-and-reload per mutation.
+func IncrementalApplyScenario(users int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("incremental/apply/n=%d", users),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+			"mutations":  "1",
+		},
+		Prepare: func() (RunFunc, error) {
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			p := core.NewPipeline(core.Config{
+				Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+				Classifier: &core.XGBClassifier{Seed: 1},
+				Seed:       1,
+			})
+			res, err := p.Run(ds)
+			if err != nil {
+				return nil, err
+			}
+			// Deterministic absent pair: the mutation must be the same
+			// edge every repetition and every run.
+			var batch []core.Mutation
+			n := graph.NodeID(ds.G.NumNodes())
+			for u := graph.NodeID(0); u < n && batch == nil; u++ {
+				for v := u + 1; v < n; v++ {
+					if !ds.G.HasEdge(u, v) {
+						batch = []core.Mutation{{
+							Kind: core.MutAdd, U: u, V: v,
+							Label: social.Family, Revealed: true,
+						}}
+						break
+					}
+				}
+			}
+			if batch == nil {
+				return nil, fmt.Errorf("bench: fixture graph is complete")
+			}
+			return func(m *M) error {
+				_, newRes, stats, err := p.ApplyMutations(ds, res, batch)
+				if err != nil {
+					return err
+				}
+				if len(newRes.Predictions) != len(res.Predictions)+1 {
+					return fmt.Errorf("bench: apply produced %d predictions, want %d",
+						len(newRes.Predictions), len(res.Predictions)+1)
+				}
+				m.RecordPhase("apply", stats.Duration)
+				return nil
+			}, nil
+		},
+	}
+}
+
 // trainedArtifacts memoizes trainedArtifact per population size, like the
 // Dataset fixture cache: artifact bytes are deterministic for the fixed
 // seeds, and both artifact scenarios share one configuration, so the

@@ -11,7 +11,9 @@ var suites = map[string]func() []Scenario{
 	// smoke is the CI gate: every scenario family at tiny scale, small
 	// enough to run on every pull request yet covering pipeline phases,
 	// Phase I division and both serving hot paths (with latency
-	// percentiles).
+	// percentiles). The n=1000 pipeline + incremental pair exists for the
+	// comparison the incremental engine is sold on: one mutation epoch
+	// versus a full retrain at the same population.
 	"smoke": func() []Scenario {
 		return []Scenario{
 			PipelineScenario(100, 1.0),
@@ -22,6 +24,8 @@ var suites = map[string]func() []Scenario{
 			ServeClassifyScenario(100, 16, 400),
 			ArtifactLoadScenario(100),
 			ServeColdStartScenario(100),
+			PipelineScenario(1000, 1.0),
+			IncrementalApplyScenario(1000),
 		}
 	},
 	// scale sweeps the population axis (Fig. 12(a) / Table VI regime):
@@ -62,12 +66,22 @@ var suites = map[string]func() []Scenario{
 	},
 }
 
-// full chains every suite except the long-running scale sweep.
+// full chains every suite except the long-running scale sweep. Scenarios
+// that appear in several suites (smoke and density both carry the n=1000
+// pipeline) run once: the differ matches results by name, so a chained
+// suite must not emit duplicates.
 func init() {
 	suites["full"] = func() []Scenario {
+		seen := map[string]bool{}
 		var out []Scenario
 		for _, name := range []string{"smoke", "density", "detectors", "serve"} {
-			out = append(out, suites[name]()...)
+			for _, sc := range suites[name]() {
+				if seen[sc.Name] {
+					continue
+				}
+				seen[sc.Name] = true
+				out = append(out, sc)
+			}
 		}
 		return out
 	}

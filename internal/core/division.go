@@ -112,31 +112,59 @@ type DivisionConfig struct {
 //
 // Nodes are processed independently — the property that lets the deployed
 // system stream a billion-node graph across servers (Section V-D) — so the
-// local run uses a simple worker pool.
+// local run uses a simple worker pool. It is DivideNodes over every node.
 func Divide(ds *social.Dataset, cfg DivisionConfig) []*EgoResult {
 	n := ds.G.NumNodes()
 	results := make([]*EgoResult, n)
+	nodes := make([]graph.NodeID, n)
+	for u := range nodes {
+		nodes[u] = graph.NodeID(u)
+	}
+	DivideNodes(ds, results, nodes, cfg)
+	return results
+}
+
+// DivideNodes recomputes Phase I for just the listed nodes, writing each
+// node's fresh *EgoResult into egos[node] and leaving every other entry
+// untouched. This is the per-node recompute seam of the staged pipeline:
+// the full run passes every node, the incremental engine passes only the
+// dirty neighborhood of a mutation batch. Each node's result depends only
+// on the dataset and its own ego network (and is seeded per ego), so a
+// partial recompute is bit-identical to the same nodes' slice of a full
+// Divide.
+//
+// Listed nodes must be in range of egos; distinct nodes write distinct
+// indices, so the worker pool needs no locking.
+func DivideNodes(ds *social.Dataset, egos []*EgoResult, nodes []graph.NodeID, cfg DivisionConfig) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for _, u := range nodes {
+			egos[u] = divideOne(ds, u, cfg)
+		}
+		return
+	}
 	var wg sync.WaitGroup
-	next := make(chan int, workers*4)
+	next := make(chan graph.NodeID, workers*4)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for u := range next {
-				results[u] = divideOne(ds, graph.NodeID(u), cfg)
+				egos[u] = divideOne(ds, u, cfg)
 			}
 		}()
 	}
-	for u := 0; u < n; u++ {
+	for _, u := range nodes {
 		next <- u
 	}
 	close(next)
 	wg.Wait()
-	return results
 }
 
 // Divide1 runs Phase I for a single ego node — the distributed system's

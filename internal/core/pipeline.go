@@ -78,9 +78,23 @@ type Result struct {
 	Combiner *logreg.Model
 }
 
-// PredictedLabel returns the predicted label for the edge {u,v}.
+// PredictedLabel returns the predicted label for the edge {u,v}. For an
+// edge the result does not know, the map lookup's zero value — Colleague —
+// comes back indistinguishable from a real prediction; callers that can
+// see unknown edges (servers, evaluators) should use PredictedLabelOK.
 func (r *Result) PredictedLabel(u, v graph.NodeID) social.Label {
 	return r.Predictions[(graph.Edge{U: u, V: v}).Key()]
+}
+
+// PredictedLabelOK returns the predicted label for the edge {u,v} and
+// whether the edge exists in the result at all — the lookup form that
+// never fabricates a label for an unknown edge.
+func (r *Result) PredictedLabelOK(u, v graph.NodeID) (social.Label, bool) {
+	l, ok := r.Predictions[(graph.Edge{U: u, V: v}).Key()]
+	if !ok {
+		return social.Unlabeled, false
+	}
+	return l, true
 }
 
 // Pipeline is a configured LoCEC instance.
@@ -116,6 +130,10 @@ func (p *Pipeline) Run(ds *social.Dataset) (*Result, error) {
 // division themselves — e.g. a serving layer partitioning ego networks by
 // node ID across workers — compute egos however they like and hand the
 // pieces here; phase1 is recorded as the division wall-clock time.
+//
+// The body is a composition of the staged implementation in stages.go —
+// TrainClassifier, ClassifyCommunities, then Combine — the same stages the
+// incremental engine replays over a dirty subset.
 func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 time.Duration) (*Result, error) {
 	if len(egos) != ds.G.NumNodes() {
 		return nil, fmt.Errorf("core: %d ego results for %d nodes", len(egos), ds.G.NumNodes())
@@ -130,24 +148,14 @@ func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 tim
 	res.Times.Phase1 = phase1
 
 	// ---- Phase II: aggregation --------------------------------------
-	// Train the community classifier on communities whose ground truth is
-	// derivable from revealed ego-edge labels.
 	t0 := time.Now()
-	var trainComms []*LocalCommunity
-	var trainLabels []social.Label
-	for _, c := range res.Communities {
-		if l := c.TruthLabel(); l.Valid() {
-			trainComms = append(trainComms, c)
-			trainLabels = append(trainLabels, l)
-		}
-	}
-	if err := p.cfg.Classifier.Fit(ds, trainComms, trainLabels); err != nil {
-		return nil, fmt.Errorf("core: phase II training: %w", err)
+	if err := p.TrainClassifier(ds, res.Communities); err != nil {
+		return nil, err
 	}
 	res.Times.Training = time.Since(t0)
 
 	t0 = time.Now()
-	p.cfg.Classifier.Classify(ds, res.Communities)
+	p.ClassifyCommunities(ds, res.Communities)
 	res.Times.Phase2 = time.Since(t0)
 
 	// ---- Phase III: combination -------------------------------------
@@ -161,100 +169,27 @@ func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 tim
 
 // Combine runs Phase III on a Result whose Egos already carry classified
 // communities (Phases I+II done), filling res.Predictions and
-// res.Probabilities for every edge. RunWithEgos calls it as its final
-// stage; benchmarks call it directly to isolate combiner cost.
+// res.Probabilities for every edge: TrainCombiner followed by prediction
+// over the full edge list. RunWithEgos calls it as its final stage;
+// benchmarks call it directly to isolate combiner cost.
 //
-// Edge prediction fans out over GOMAXPROCS workers in contiguous edge
-// chunks. Each worker reuses one feature-vector scratch buffer and writes
-// into disjoint ranges of preallocated flat stores (one []float64 backing
-// all probability vectors), so the per-edge cost is free of allocation;
-// the map views are filled in a single serial pass afterwards.
+// Edge prediction (predictEdges, shared with RecombineEdges) fans out over
+// GOMAXPROCS workers in contiguous edge chunks. Each worker reuses one
+// feature-vector scratch buffer and writes into disjoint ranges of
+// preallocated flat stores (one []float64 backing all probability
+// vectors), so the per-edge cost is free of allocation; the map views are
+// filled in a single serial pass afterwards.
 func (p *Pipeline) Combine(ds *social.Dataset, res *Result) error {
-	if p.cfg.AgreementRule {
-		p.combineByAgreement(ds, res)
-		return nil
+	if err := p.TrainCombiner(ds, res); err != nil {
+		return err
 	}
-	labeled := ds.LabeledEdges()
-	if len(labeled) == 0 {
-		return fmt.Errorf("core: phase III requires labeled edges")
-	}
-	// Training matrix: every row has the same width (2 tightness values +
-	// two fixed-width r_C embeddings), so one flat backing array serves
-	// all rows; the first appended row reveals the width.
-	var flatX []float64
-	X := make([][]float64, len(labeled))
-	y := make([]int, len(labeled))
-	featW := 0
-	for i, k := range labeled {
-		e := graph.EdgeFromKey(k)
-		flatX = AppendEdgeFeatures(flatX, res.Egos, e.U, e.V)
-		if i == 0 {
-			featW = len(flatX)
-			grown := make([]float64, featW, len(labeled)*featW)
-			copy(grown, flatX)
-			flatX = grown
-		}
-		X[i] = flatX[i*featW : (i+1)*featW]
-		y[i] = int(ds.TrueLabels[k])
-	}
-	lr, err := logreg.Train(X, y, p.cfg.Combiner)
-	if err != nil {
-		return fmt.Errorf("core: phase III training: %w", err)
-	}
-	res.Combiner = lr
 	edges := ds.G.Edges()
-	classes := lr.Classes
+	classes := p.classes(res)
 	preds := make([]social.Label, len(edges))
 	probsFlat := make([]float64, len(edges)*classes)
-	forEachEdgeChunk(edges, func(lo, hi int) {
-		feat := make([]float64, 0, featW)
-		for i := lo; i < hi; i++ {
-			e := edges[i]
-			feat = AppendEdgeFeatures(feat[:0], res.Egos, e.U, e.V)
-			out := probsFlat[i*classes : (i+1)*classes]
-			lr.PredictProbaInto(feat, out)
-			preds[i] = social.Label(Argmax(out))
-		}
-	})
+	p.predictEdges(res, edges, preds, probsFlat, classes)
 	res.publish(edges, preds, probsFlat, classes)
 	return nil
-}
-
-// combineByAgreement labels every edge with the ablation rule: agreeing
-// endpoint communities decide directly; disagreements fall back to the
-// tightness-weighted sum of the two probability vectors. It shares the
-// chunked fan-out and flat probability storage with Combine.
-func (p *Pipeline) combineByAgreement(ds *social.Dataset, res *Result) {
-	edges := ds.G.Edges()
-	classes := social.NumLabels
-	preds := make([]social.Label, len(edges))
-	probsFlat := make([]float64, len(edges)*classes)
-	forEachEdgeChunk(edges, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			u, v := edges[i].U, edges[i].V
-			cu, tu := res.Egos[v].CommunityOf(u)
-			cv, tv := res.Egos[u].CommunityOf(v)
-			blended := probsFlat[i*classes : (i+1)*classes]
-			total := 0.0
-			for c := 0; c < classes; c++ {
-				blended[c] = tu*cu.Probs[c] + tv*cv.Probs[c]
-				total += blended[c]
-			}
-			if total > 0 {
-				for c := range blended {
-					blended[c] /= total
-				}
-			}
-			lu := social.Label(Argmax(cu.Probs))
-			lv := social.Label(Argmax(cv.Probs))
-			if lu == lv {
-				preds[i] = lu
-			} else {
-				preds[i] = social.Label(Argmax(blended))
-			}
-		}
-	})
-	res.publish(edges, preds, probsFlat, classes)
 }
 
 // forEachEdgeChunk splits the edge list into one contiguous chunk per

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"locec/internal/graph"
+	"locec/internal/logreg"
+	"locec/internal/social"
+)
+
+// This file is the staged decomposition of the three-phase pipeline. Run
+// and RunWithEgos are thin compositions of the stages below; the
+// incremental engine (incremental.go) composes the same stages over a
+// dirty subset instead of the whole graph, so there is exactly one
+// implementation of each phase for both the batch and the live path.
+//
+//	full run:     DivideNodes(all) → TrainClassifier → ClassifyCommunities(all)
+//	              → TrainCombiner → RecombineEdges(all)
+//	incremental:  DivideNodes(dirty) → ClassifyCommunities(dirty, frozen model)
+//	              → RecombineEdges(dirty, frozen combiner)
+
+// DivideNodes is the Phase I stage on this pipeline's division config:
+// recompute the listed nodes' ego results in place (see the package-level
+// DivideNodes for the seam contract).
+func (p *Pipeline) DivideNodes(ds *social.Dataset, egos []*EgoResult, nodes []graph.NodeID) {
+	DivideNodes(ds, egos, nodes, p.cfg.Division)
+}
+
+// TrainClassifier is the Phase II training stage: fit the community
+// classifier on every community whose ground truth is derivable from
+// revealed ego-edge labels.
+func (p *Pipeline) TrainClassifier(ds *social.Dataset, comms []*LocalCommunity) error {
+	var trainComms []*LocalCommunity
+	var trainLabels []social.Label
+	for _, c := range comms {
+		if l := c.TruthLabel(); l.Valid() {
+			trainComms = append(trainComms, c)
+			trainLabels = append(trainLabels, l)
+		}
+	}
+	if err := p.cfg.Classifier.Fit(ds, trainComms, trainLabels); err != nil {
+		return fmt.Errorf("core: phase II training: %w", err)
+	}
+	return nil
+}
+
+// ClassifyCommunities is the Phase II inference stage: fill Probs and
+// Result on the given communities with the pipeline's (already trained)
+// classifier. The full run classifies every community once; the
+// incremental engine re-classifies only the communities of dirty ego
+// networks against the frozen model.
+func (p *Pipeline) ClassifyCommunities(ds *social.Dataset, comms []*LocalCommunity) {
+	p.cfg.Classifier.Classify(ds, comms)
+}
+
+// TrainCombiner is the Phase III training stage: fit the logistic
+// regression on the revealed edges' features and install it on the result.
+// Under the agreement-rule ablation there is nothing to train.
+func (p *Pipeline) TrainCombiner(ds *social.Dataset, res *Result) error {
+	if p.cfg.AgreementRule {
+		return nil
+	}
+	labeled := ds.LabeledEdges()
+	if len(labeled) == 0 {
+		return fmt.Errorf("core: phase III requires labeled edges")
+	}
+	// Training matrix: every row has the same width (2 tightness values +
+	// two fixed-width r_C embeddings), so one flat backing array serves
+	// all rows; the first appended row reveals the width.
+	var flatX []float64
+	X := make([][]float64, len(labeled))
+	y := make([]int, len(labeled))
+	featW := 0
+	for i, k := range labeled {
+		e := graph.EdgeFromKey(k)
+		flatX = AppendEdgeFeatures(flatX, res.Egos, e.U, e.V)
+		if i == 0 {
+			featW = len(flatX)
+			grown := make([]float64, featW, len(labeled)*featW)
+			copy(grown, flatX)
+			flatX = grown
+		}
+		X[i] = flatX[i*featW : (i+1)*featW]
+		y[i] = int(ds.TrueLabels[k])
+	}
+	lr, err := logreg.Train(X, y, p.cfg.Combiner)
+	if err != nil {
+		return fmt.Errorf("core: phase III training: %w", err)
+	}
+	res.Combiner = lr
+	return nil
+}
+
+// classes returns the per-edge probability-vector width Phase III
+// prediction produces for this pipeline/result pairing.
+func (p *Pipeline) classes(res *Result) int {
+	if p.cfg.AgreementRule || res.Combiner == nil {
+		return social.NumLabels
+	}
+	return res.Combiner.Classes
+}
+
+// predictEdges is the shared Phase III prediction kernel: fill preds[i]
+// and probsFlat[i*classes:(i+1)*classes] for every listed edge from the
+// result's classified egos, using the trained combiner (or the
+// agreement-rule ablation). It fans out over GOMAXPROCS workers in
+// contiguous chunks; each worker reuses one feature scratch buffer and
+// writes disjoint index ranges, so the per-edge cost is allocation-free.
+func (p *Pipeline) predictEdges(res *Result, edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) {
+	if p.cfg.AgreementRule {
+		p.predictEdgesByAgreement(res, edges, preds, probsFlat, classes)
+		return
+	}
+	lr := res.Combiner
+	forEachEdgeChunk(edges, func(lo, hi int) {
+		feat := make([]float64, 0, lr.Features)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			feat = AppendEdgeFeatures(feat[:0], res.Egos, e.U, e.V)
+			out := probsFlat[i*classes : (i+1)*classes]
+			lr.PredictProbaInto(feat, out)
+			preds[i] = social.Label(Argmax(out))
+		}
+	})
+}
+
+// predictEdgesByAgreement labels every listed edge with the ablation rule:
+// agreeing endpoint communities decide directly; disagreements fall back
+// to the tightness-weighted sum of the two probability vectors.
+func (p *Pipeline) predictEdgesByAgreement(res *Result, edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) {
+	forEachEdgeChunk(edges, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, v := edges[i].U, edges[i].V
+			cu, tu := res.Egos[v].CommunityOf(u)
+			cv, tv := res.Egos[u].CommunityOf(v)
+			blended := probsFlat[i*classes : (i+1)*classes]
+			total := 0.0
+			for c := 0; c < classes; c++ {
+				blended[c] = tu*cu.Probs[c] + tv*cv.Probs[c]
+				total += blended[c]
+			}
+			if total > 0 {
+				for c := range blended {
+					blended[c] /= total
+				}
+			}
+			lu := social.Label(Argmax(cu.Probs))
+			lv := social.Label(Argmax(cv.Probs))
+			if lu == lv {
+				preds[i] = lu
+			} else {
+				preds[i] = social.Label(Argmax(blended))
+			}
+		}
+	})
+}
+
+// RecombineEdges is the Phase III re-prediction stage: recompute the
+// prediction and probability vector of just the listed edges with the
+// already-trained combiner, merging the fresh values into res.Predictions
+// and res.Probabilities (other edges keep their entries). An edge feature
+// reads only the two endpoints' ego results, so after a mutation batch the
+// edges incident to the dirty node set are exactly the ones whose
+// prediction can change.
+//
+// The fresh probability vectors are subslices of a new backing array —
+// existing vectors (possibly shared with a published snapshot) are never
+// written in place.
+func (p *Pipeline) RecombineEdges(res *Result, edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	if !p.cfg.AgreementRule && res.Combiner == nil {
+		return fmt.Errorf("core: recombine: result has no trained combiner")
+	}
+	classes := p.classes(res)
+	preds := make([]social.Label, len(edges))
+	probsFlat := make([]float64, len(edges)*classes)
+	p.predictEdges(res, edges, preds, probsFlat, classes)
+	if res.Predictions == nil {
+		res.Predictions = make(map[uint64]social.Label, len(edges))
+	}
+	if res.Probabilities == nil {
+		res.Probabilities = make(map[uint64][]float64, len(edges))
+	}
+	// Workers never touch the maps: predictEdges fills the flat stores in
+	// parallel and this single serial pass publishes them.
+	for i, e := range edges {
+		k := e.Key()
+		res.Predictions[k] = preds[i]
+		res.Probabilities[k] = probsFlat[i*classes : (i+1)*classes]
+	}
+	return nil
+}
+
+// RunFrozen re-executes the pipeline's compute phases with every learned
+// model frozen: Phase I from scratch over the whole graph, Phase II
+// inference with trained.Classifier, Phase III prediction with
+// trained.Combiner (or the agreement rule) — no training anywhere. It is
+// the reference implementation the incremental engine is verified against
+// (VerifyIncremental): both paths are compositions of the same stages, so
+// any divergence is a dirty-set propagation bug, not a model drift.
+func (p *Pipeline) RunFrozen(ds *social.Dataset, trained *Result) (*Result, error) {
+	if trained == nil || trained.Classifier == nil {
+		return nil, fmt.Errorf("core: run frozen: result carries no trained classifier")
+	}
+	if !p.cfg.AgreementRule && trained.Combiner == nil {
+		return nil, fmt.Errorf("core: run frozen: result carries no trained combiner")
+	}
+	res := &Result{
+		ClassifierName: trained.ClassifierName,
+		Classifier:     trained.Classifier,
+		Combiner:       trained.Combiner,
+	}
+	res.Egos = make([]*EgoResult, ds.G.NumNodes())
+	nodes := make([]graph.NodeID, ds.G.NumNodes())
+	for u := range nodes {
+		nodes[u] = graph.NodeID(u)
+	}
+	p.DivideNodes(ds, res.Egos, nodes)
+	for _, er := range res.Egos {
+		res.Communities = append(res.Communities, er.Comms...)
+	}
+	trained.Classifier.Classify(ds, res.Communities)
+	edges := ds.G.Edges()
+	classes := p.classes(res)
+	preds := make([]social.Label, len(edges))
+	probsFlat := make([]float64, len(edges)*classes)
+	p.predictEdges(res, edges, preds, probsFlat, classes)
+	res.publish(edges, preds, probsFlat, classes)
+	return res, nil
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Overlay is a mutable edge delta over an immutable base Graph — the write
+// side of the incremental update engine. Mutations accumulate in the
+// overlay (one epoch's worth of AddEdge/RemoveEdge calls); Compact then
+// merges them into a fresh immutable CSR graph in O(E + Δ), and DirtyNodes
+// reports exactly the nodes whose ego networks the batch invalidated.
+//
+// The node set is fixed: an overlay mutates edges among the base graph's
+// existing nodes. Edge queries (HasEdge, NumEdges) reflect the overlay
+// state, i.e. base ∪ added − removed.
+//
+// An Overlay is not safe for concurrent use; the Graphs it produces are.
+type Overlay struct {
+	base *Graph
+	// added / removed partition the delta: a key is in at most one of the
+	// two. added keys are absent from base; removed keys are present in it.
+	added   map[uint64]struct{}
+	removed map[uint64]struct{}
+	// dirty accumulates the nodes whose ego networks a mutation changed:
+	// the endpoints of every mutated edge plus the base-graph common
+	// neighbors of its endpoints (see DirtyNodes for why that is exact).
+	dirty map[NodeID]struct{}
+}
+
+// NewOverlay creates an empty overlay over base.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{
+		base:    base,
+		added:   map[uint64]struct{}{},
+		removed: map[uint64]struct{}{},
+		dirty:   map[NodeID]struct{}{},
+	}
+}
+
+// Base returns the immutable graph the overlay mutates.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// check validates endpoints against the base graph's node range.
+func (o *Overlay) check(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: overlay: self-loop on node %d", u)
+	}
+	if n := o.base.NumNodes(); int(u) >= n || int(v) >= n {
+		return fmt.Errorf("graph: overlay: edge {%d,%d} out of range (n=%d)", u, v, n)
+	}
+	return nil
+}
+
+// HasEdge reports whether {u,v} exists in the overlay state.
+func (o *Overlay) HasEdge(u, v NodeID) bool {
+	if int(u) >= o.base.NumNodes() || int(v) >= o.base.NumNodes() {
+		return false
+	}
+	k := Edge{U: u, V: v}.Key()
+	if _, ok := o.added[k]; ok {
+		return true
+	}
+	if _, ok := o.removed[k]; ok {
+		return false
+	}
+	return o.base.HasEdge(u, v)
+}
+
+// NumEdges returns the overlay state's undirected edge count.
+func (o *Overlay) NumEdges() int {
+	return o.base.NumEdges() + len(o.added) - len(o.removed)
+}
+
+// markDirty records the ego networks edge {u,v} invalidates: the two
+// endpoints (their ego membership changes) and every base-graph common
+// neighbor w (the edge lies inside ego(w) because both endpoints are
+// members). Nodes whose own adjacency a batch changes are always endpoints
+// of some mutation, so the base adjacency is authoritative for everyone
+// else — see DirtyNodes.
+func (o *Overlay) markDirty(u, v NodeID) {
+	o.dirty[u] = struct{}{}
+	o.dirty[v] = struct{}{}
+	a, b := o.base.Neighbors(u), o.base.Neighbors(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			o.dirty[a[i]] = struct{}{}
+			i++
+			j++
+		}
+	}
+}
+
+// AddEdge records the undirected edge {u,v}. It is an error if the edge
+// already exists in the overlay state.
+func (o *Overlay) AddEdge(u, v NodeID) error {
+	if err := o.check(u, v); err != nil {
+		return err
+	}
+	k := Edge{U: u, V: v}.Key()
+	switch {
+	case o.base.HasEdge(u, v):
+		if _, gone := o.removed[k]; !gone {
+			return fmt.Errorf("graph: overlay: edge {%d,%d} already exists", u, v)
+		}
+		delete(o.removed, k) // re-add of a removed base edge
+	default:
+		if _, dup := o.added[k]; dup {
+			return fmt.Errorf("graph: overlay: edge {%d,%d} already exists", u, v)
+		}
+		o.added[k] = struct{}{}
+	}
+	o.markDirty(u, v)
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u,v}. It is an error if the edge
+// does not exist in the overlay state.
+func (o *Overlay) RemoveEdge(u, v NodeID) error {
+	if err := o.check(u, v); err != nil {
+		return err
+	}
+	k := Edge{U: u, V: v}.Key()
+	if _, ok := o.added[k]; ok {
+		delete(o.added, k) // retract an edge added earlier in the batch
+		o.markDirty(u, v)
+		return nil
+	}
+	if !o.base.HasEdge(u, v) {
+		return fmt.Errorf("graph: overlay: edge {%d,%d} does not exist", u, v)
+	}
+	if _, dup := o.removed[k]; dup {
+		return fmt.Errorf("graph: overlay: edge {%d,%d} does not exist", u, v)
+	}
+	o.removed[k] = struct{}{}
+	o.markDirty(u, v)
+	return nil
+}
+
+// Mutations returns the net edge delta relative to the base graph, each
+// list sorted by canonical key. Edges added and then removed inside the
+// same overlay (or vice versa) cancel and appear in neither list.
+func (o *Overlay) Mutations() (added, removed []Edge) {
+	added = make([]Edge, 0, len(o.added))
+	for k := range o.added {
+		added = append(added, EdgeFromKey(k))
+	}
+	removed = make([]Edge, 0, len(o.removed))
+	for k := range o.removed {
+		removed = append(removed, EdgeFromKey(k))
+	}
+	cmp := func(a, b Edge) int {
+		if a.Key() < b.Key() {
+			return -1
+		}
+		if a.Key() > b.Key() {
+			return 1
+		}
+		return 0
+	}
+	slices.SortFunc(added, cmp)
+	slices.SortFunc(removed, cmp)
+	return added, removed
+}
+
+// DirtyNodes returns, sorted, every node whose ego network differs between
+// the base graph and the overlay state. The set is exact for net
+// mutations and a superset only when a batch cancels itself out (an edge
+// added then removed still dirties its endpoints and witnesses):
+//
+//   - An endpoint of a mutated edge gains or loses an ego member.
+//   - A common neighbor w of the endpoints has the mutated edge inside its
+//     ego network (both endpoints are members of ego(w)).
+//   - Nobody else: for a node w that is not an endpoint of any mutation,
+//     N(w) is identical in base and overlay, so ego(w) changes only if a
+//     mutated edge has both endpoints inside N(w) — which makes w a common
+//     neighbor as seen by the base graph.
+//
+// Relabel-style metadata changes are outside the overlay's scope; callers
+// track those endpoints themselves.
+func (o *Overlay) DirtyNodes() []NodeID {
+	out := make([]NodeID, 0, len(o.dirty))
+	for u := range o.dirty {
+		out = append(out, u)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// MarkNodeDirty adds a node to the dirty set without an edge mutation —
+// the hook metadata-only changes (e.g. an edge relabel, which shifts a
+// community's ground-truth votes inside the endpoint egos) use so one
+// dirty set drives the whole recompute.
+func (o *Overlay) MarkNodeDirty(u NodeID) error {
+	if int(u) >= o.base.NumNodes() {
+		return fmt.Errorf("graph: overlay: node %d out of range (n=%d)", u, o.base.NumNodes())
+	}
+	o.dirty[u] = struct{}{}
+	return nil
+}
+
+// Compact merges the delta into a fresh immutable Graph in one counting
+// pass plus one scatter pass over base arcs and delta arcs — O(E + Δ),
+// with no global edge sort (the base adjacency is already sorted and each
+// node's delta is merged in order).
+func (o *Overlay) Compact() *Graph {
+	n := o.base.NumNodes()
+	if len(o.added) == 0 && len(o.removed) == 0 {
+		return o.base // nothing changed; CSR is immutable, so sharing is safe
+	}
+	// Per-node sorted delta adjacency. addBy/removeBy hold each endpoint's
+	// counterpart, built from the sorted key lists so each per-node list
+	// needs no own sort for the smaller-endpoint direction; the reverse
+	// direction is appended afterwards and sorted per node (Δ is tiny
+	// relative to E).
+	addBy := make(map[NodeID][]NodeID, 2*len(o.added))
+	removeBy := make(map[NodeID]map[NodeID]struct{}, 2*len(o.removed))
+	for k := range o.added {
+		e := EdgeFromKey(k)
+		addBy[e.U] = append(addBy[e.U], e.V)
+		addBy[e.V] = append(addBy[e.V], e.U)
+	}
+	for u := range addBy {
+		slices.Sort(addBy[u])
+	}
+	for k := range o.removed {
+		e := EdgeFromKey(k)
+		for _, p := range [2][2]NodeID{{e.U, e.V}, {e.V, e.U}} {
+			m := removeBy[p[0]]
+			if m == nil {
+				m = make(map[NodeID]struct{}, 2)
+				removeBy[p[0]] = m
+			}
+			m[p[1]] = struct{}{}
+		}
+	}
+	offsets := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		deg := o.base.Degree(NodeID(u)) + len(addBy[NodeID(u)]) - len(removeBy[NodeID(u)])
+		offsets[u+1] = offsets[u] + int32(deg)
+	}
+	adj := make([]NodeID, offsets[n])
+	for u := 0; u < n; u++ {
+		row := adj[offsets[u]:offsets[u]:offsets[u+1]]
+		baseRow := o.base.Neighbors(NodeID(u))
+		addRow := addBy[NodeID(u)]
+		gone := removeBy[NodeID(u)]
+		i, j := 0, 0
+		for i < len(baseRow) || j < len(addRow) {
+			// added edges are absent from base and removed ones present,
+			// so the two merge streams never collide on a value.
+			if j >= len(addRow) || (i < len(baseRow) && baseRow[i] < addRow[j]) {
+				if _, drop := gone[baseRow[i]]; !drop {
+					row = append(row, baseRow[i])
+				}
+				i++
+			} else {
+				row = append(row, addRow[j])
+				j++
+			}
+		}
+		if len(row) != int(offsets[u+1]-offsets[u]) {
+			// Defensive: the degree arithmetic above and the merge must
+			// agree; a mismatch means the delta sets were inconsistent.
+			panic(fmt.Sprintf("graph: overlay: node %d compacted to %d neighbors, expected %d",
+				u, len(row), offsets[u+1]-offsets[u]))
+		}
+	}
+	return &Graph{
+		offsets: offsets,
+		adj:     adj,
+		m:       o.base.NumEdges() + len(o.added) - len(o.removed),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/artifact", s.handleArtifact)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/mutations", s.handleMutations)
 	return s.withLogging(s.log, mux)
 }
 
@@ -239,7 +241,8 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats reports the live snapshot, phase timings, per-route request
-// latency percentiles, cache counters and process uptime.
+// latency percentiles, cache counters, mutation counters and process
+// uptime.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
 	markSnapshot(w, snap)
@@ -258,6 +261,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hits":   hits,
 			"misses": misses,
 			"size":   size,
+		},
+		"mutations": map[string]any{
+			"applied":            s.mutApplied.Load(),
+			"pending":            s.mutPending.Load(),
+			"failed":             s.mutFailed.Load(),
+			"last_epoch":         s.epochs.Load(),
+			"last_dirty_nodes":   s.lastDirtyNodes.Load(),
+			"last_dirty_edges":   s.lastDirtyEdges.Load(),
+			"last_apply_seconds": float64(s.lastApplyNs.Load()) / 1e9,
 		},
 	})
 }
@@ -283,6 +295,178 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("snapshot-v%d.locec", snap.version)))
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	_, _ = w.Write(data)
+}
+
+// mutationDoc is one operation in a POST /v1/mutations body.
+type mutationDoc struct {
+	// Op is "add", "remove" or "relabel".
+	Op string `json:"op"`
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+	// Label is the edge's ground truth for add/relabel: "colleague",
+	// "family", "schoolmate" or "other" (add defaults to "other").
+	Label string `json:"label,omitempty"`
+	// Revealed marks the label visible to learners; defaults to false for
+	// add and true for relabel (setting a label usually means surveying it).
+	Revealed *bool `json:"revealed,omitempty"`
+	// Interactions optionally carries the 8 per-dimension interaction
+	// counts of an added edge.
+	Interactions []float64 `json:"interactions,omitempty"`
+}
+
+// mutationsRequest is the POST /v1/mutations body.
+type mutationsRequest struct {
+	Mutations []mutationDoc `json:"mutations"`
+	// Wait blocks the request until the batch's epoch is published and
+	// reports the apply statistics; the default enqueues and returns 202.
+	Wait bool `json:"wait"`
+}
+
+// parseMutationLabel maps a wire label to the data model.
+func parseMutationLabel(raw string) (social.Label, error) {
+	switch raw {
+	case "colleague":
+		return social.Colleague, nil
+	case "family":
+		return social.Family, nil
+	case "schoolmate":
+		return social.Schoolmate, nil
+	case "other":
+		return social.Other, nil
+	default:
+		return social.Unlabeled, fmt.Errorf("unknown label %q (want colleague, family, schoolmate or other)", raw)
+	}
+}
+
+// toMutation validates one wire operation against the current snapshot's
+// node range and converts it. Edge-existence checks stay with the applier
+// (the graph may have changed by the time the batch is applied).
+func (s *snapshot) toMutation(i int, doc mutationDoc) (core.Mutation, error) {
+	m := core.Mutation{U: graph.NodeID(doc.U), V: graph.NodeID(doc.V)}
+	n := s.ds.G.NumNodes()
+	if doc.U == doc.V {
+		return m, fmt.Errorf("mutation %d: self-loop on node %d", i, doc.U)
+	}
+	if int(doc.U) >= n || int(doc.V) >= n {
+		return m, fmt.Errorf("mutation %d: edge {%d,%d} out of range (snapshot has %d nodes)", i, doc.U, doc.V, n)
+	}
+	switch doc.Op {
+	case "add":
+		m.Kind = core.MutAdd
+		m.Label = social.Other
+		if doc.Label != "" {
+			l, err := parseMutationLabel(doc.Label)
+			if err != nil {
+				return m, fmt.Errorf("mutation %d: %v", i, err)
+			}
+			m.Label = l
+		}
+		if doc.Revealed != nil {
+			m.Revealed = *doc.Revealed
+		}
+		if len(doc.Interactions) != 0 && len(doc.Interactions) != int(social.NumInteractionDims) {
+			return m, fmt.Errorf("mutation %d: %d interaction dims, want %d", i, len(doc.Interactions), social.NumInteractionDims)
+		}
+		m.Interactions = doc.Interactions
+	case "remove":
+		m.Kind = core.MutRemove
+	case "relabel":
+		m.Kind = core.MutRelabel
+		if doc.Label == "" {
+			return m, fmt.Errorf("mutation %d: relabel requires a label", i)
+		}
+		l, err := parseMutationLabel(doc.Label)
+		if err != nil {
+			return m, fmt.Errorf("mutation %d: %v", i, err)
+		}
+		m.Label = l
+		m.Revealed = true
+		if doc.Revealed != nil {
+			m.Revealed = *doc.Revealed
+		}
+	default:
+		return m, fmt.Errorf("mutation %d: unknown op %q (want add, remove or relabel)", i, doc.Op)
+	}
+	return m, nil
+}
+
+// handleMutations accepts a batch of graph mutations (add/remove/relabel)
+// for the background applier, which recomputes only the dirty neighborhood
+// against the frozen models and atomically publishes the new snapshot.
+// With "wait":true the response describes the applied epoch; otherwise the
+// batch is acknowledged with 202 and an epoch token to poll against.
+func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxClassifyBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxClassifyBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxClassifyBody)
+		return
+	}
+	var req mutationsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, "no mutations in request")
+		return
+	}
+	snap := s.current()
+	if snap.pipe == nil {
+		markSnapshot(w, snap)
+		writeError(w, http.StatusConflict,
+			"snapshot %d was loaded from an artifact and carries no raw dataset; mutations need a trained snapshot (POST /v1/reload with a seed first)",
+			snap.version)
+		return
+	}
+	batch := make([]core.Mutation, len(req.Mutations))
+	for i, doc := range req.Mutations {
+		m, err := snap.toMutation(i, doc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		batch[i] = m
+	}
+	receipt, err := s.Mutate(batch, req.Wait)
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errServerClosed):
+		// Transient back-pressure, not a semantic conflict: retryable.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		// The batch was structurally valid but the applier rejected it
+		// (e.g. add of an edge that already exists).
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if !receipt.Applied {
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"status":          "accepted",
+			"mutations":       receipt.Mutations,
+			"pending":         receipt.Pending,
+			"epoch_submitted": receipt.Epoch,
+		})
+		return
+	}
+	w.Header().Set(snapshotHeader, strconv.FormatInt(receipt.Snapshot.Version, 10))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            "applied",
+		"epoch":             receipt.Epoch,
+		"snapshot":          receipt.Snapshot,
+		"mutations":         receipt.Mutations,
+		"dirty_nodes":       receipt.Stats.DirtyNodes,
+		"dirty_communities": receipt.Stats.DirtyCommunities,
+		"dirty_edges":       receipt.Stats.DirtyEdges,
+		"added_edges":       receipt.Stats.AddedEdges,
+		"removed_edges":     receipt.Stats.RemovedEdges,
+		"apply_seconds":     receipt.Stats.Duration.Seconds(),
+		"mutations_pending": receipt.Pending,
+	})
 }
 
 // reloadRequest is the optional POST /v1/reload body.

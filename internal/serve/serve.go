@@ -66,12 +66,22 @@ type Config struct {
 // here is read-only after publication; handlers grab the pointer once per
 // request and never observe a partial reload.
 type snapshot struct {
-	version   int64
-	seed      int64
+	version int64
+	seed    int64
+	// epoch is the global mutation-epoch counter's value when this
+	// snapshot was published; it only advances when a mutation batch is
+	// applied (reloads keep the current value).
+	epoch     int64
 	ds        *social.Dataset
 	res       *core.Result
 	builtAt   time.Time
 	buildTime time.Duration
+
+	// pipe is the pipeline that trained this snapshot — the incremental
+	// engine applies mutations through it so the frozen models and the
+	// division config match. nil for artifact-loaded snapshots, whose
+	// dataset carries topology only: those cannot be mutated.
+	pipe *core.Pipeline
 
 	// artOnce memoizes the snapshot's serialized artifact: the snapshot
 	// is immutable, so N concurrent GET /v1/artifact downloads share one
@@ -107,18 +117,19 @@ func (s *snapshot) artifactBytes() ([]byte, error) {
 }
 
 // label returns the predicted label and probability vector for {u,v},
-// with ok=false when the edge does not exist in the snapshot's graph.
+// with ok=false when the edge does not exist in the snapshot. The OK form
+// guarantees an unknown edge can never surface a fabricated zero-value
+// label.
 func (s *snapshot) label(u, v graph.NodeID) (social.Label, []float64, bool) {
-	k := (graph.Edge{U: u, V: v}).Key()
-	probs, ok := s.res.Probabilities[k]
+	label, ok := s.res.PredictedLabelOK(u, v)
 	if !ok {
 		return social.Unlabeled, nil, false
 	}
-	return s.res.Predictions[k], probs, true
+	return label, s.res.Probabilities[(graph.Edge{U: u, V: v}).Key()], true
 }
 
 // Server is the classification service. Create with New, mount Handler on
-// an http.Server.
+// an http.Server, and Close when done (stops the mutation applier).
 type Server struct {
 	cfg   Config
 	log   *slog.Logger
@@ -127,10 +138,28 @@ type Server struct {
 	lat   *routeLatency
 	start time.Time
 
-	// reloadMu serializes snapshot builds; readers never touch it.
+	// reloadMu serializes snapshot builds (reloads and mutation epochs);
+	// readers never touch it.
 	reloadMu sync.Mutex
 	version  atomic.Int64
 	reloads  atomic.Int64
+
+	// Mutation intake: Mutate enqueues jobs on mutCh under mutMu (which
+	// also guards closed); the background applier coalesces bursts into
+	// epochs. Counters feed GET /v1/stats.
+	mutMu      sync.Mutex
+	closed     bool
+	mutCh      chan mutationJob
+	quit       chan struct{}
+	workerDone chan struct{}
+
+	epochs         atomic.Int64
+	mutApplied     atomic.Int64
+	mutFailed      atomic.Int64
+	mutPending     atomic.Int64
+	lastDirtyNodes atomic.Int64
+	lastDirtyEdges atomic.Int64
+	lastApplyNs    atomic.Int64
 }
 
 // New builds the initial snapshot (blocking until the first classification
@@ -171,11 +200,14 @@ func New(cfg Config) (*Server, error) {
 		log = slog.Default()
 	}
 	s := &Server{
-		cfg:   cfg,
-		log:   log,
-		cache: newLRUCache(cfg.CacheSize),
-		lat:   newRouteLatency(),
-		start: time.Now(),
+		cfg:        cfg,
+		log:        log,
+		cache:      newLRUCache(cfg.CacheSize),
+		lat:        newRouteLatency(),
+		start:      time.Now(),
+		mutCh:      make(chan mutationJob, mutationQueueDepth),
+		quit:       make(chan struct{}),
+		workerDone: make(chan struct{}),
 	}
 	if cfg.Artifact != "" {
 		if _, err := s.ReloadArtifact(cfg.Artifact); err != nil {
@@ -184,7 +216,22 @@ func New(cfg Config) (*Server, error) {
 	} else if _, err := s.Reload(cfg.Seed); err != nil {
 		return nil, err
 	}
+	go s.mutationWorker()
 	return s, nil
+}
+
+// Close stops the background mutation applier, failing any queued
+// mutations. Readers keep working against the last published snapshot;
+// further Mutate calls return an error.
+func (s *Server) Close() {
+	s.mutMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mutMu.Unlock()
+	if !already {
+		close(s.quit)
+	}
+	<-s.workerDone
 }
 
 // SnapshotInfo describes a published snapshot (returned by Reload and the
@@ -192,24 +239,30 @@ func New(cfg Config) (*Server, error) {
 type SnapshotInfo struct {
 	Version     int64   `json:"version"`
 	Seed        int64   `json:"seed"`
+	Epoch       int64   `json:"epoch"`
 	Nodes       int     `json:"nodes"`
 	Edges       int     `json:"edges"`
 	Communities int     `json:"communities"`
 	Classifier  string  `json:"classifier"`
 	BuiltAt     string  `json:"built_at"`
 	BuildSecs   float64 `json:"build_seconds"`
+	// Mutable reports whether POST /v1/mutations can evolve this snapshot
+	// (false for artifact-loaded snapshots, which carry topology only).
+	Mutable bool `json:"mutable"`
 }
 
 func (s *snapshot) info() SnapshotInfo {
 	return SnapshotInfo{
 		Version:     s.version,
 		Seed:        s.seed,
+		Epoch:       s.epoch,
 		Nodes:       s.ds.G.NumNodes(),
 		Edges:       s.ds.G.NumEdges(),
 		Communities: len(s.res.Communities),
 		Classifier:  s.res.ClassifierName,
 		BuiltAt:     s.builtAt.UTC().Format(time.RFC3339),
 		BuildSecs:   s.buildTime.Seconds(),
+		Mutable:     s.pipe != nil,
 	}
 }
 
@@ -238,15 +291,17 @@ func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
 	if err != nil {
 		return SnapshotInfo{}, fmt.Errorf("serve: dataset source: %w", err)
 	}
-	res, err := s.classify(ds, seed)
+	res, pipe, err := s.classify(ds, seed)
 	if err != nil {
 		return SnapshotInfo{}, fmt.Errorf("serve: classify: %w", err)
 	}
 	snap := &snapshot{
 		version:   s.version.Add(1),
 		seed:      seed,
+		epoch:     s.epochs.Load(),
 		ds:        ds,
 		res:       res,
+		pipe:      pipe,
 		builtAt:   time.Now(),
 		buildTime: time.Since(t0),
 	}
@@ -295,8 +350,10 @@ func (s *Server) ReloadArtifact(path string) (SnapshotInfo, error) {
 	snap := &snapshot{
 		version: s.version.Add(1),
 		seed:    art.Meta().Seed,
+		epoch:   s.epochs.Load(),
 		// Artifact snapshots carry graph topology but no raw features or
-		// labels; every handler reads only ds.G from the dataset.
+		// labels; every handler reads only ds.G from the dataset, and
+		// pipe stays nil so mutation requests are rejected cleanly.
 		ds:        &social.Dataset{G: g},
 		res:       res,
 		builtAt:   time.Now(),
@@ -326,8 +383,10 @@ func (s *Server) ExportArtifact(w io.Writer) error {
 
 // classify runs the three-phase pipeline: the Phase I division is sharded
 // by node ID across cfg.Shards workers (divideSharded), then Phases II and
-// III run through the core pipeline on the assembled ego results.
-func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, error) {
+// III run through the core pipeline on the assembled ego results. The
+// pipeline is returned alongside the result so the snapshot can later
+// apply mutations through the same configuration and frozen models.
+func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, *core.Pipeline, error) {
 	divCfg := core.DivisionConfig{
 		Workers:    s.cfg.Shards,
 		Seed:       seed,
@@ -355,7 +414,12 @@ func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, error) 
 	t0 := time.Now()
 	egos := divideSharded(ds, s.cfg.Shards, divCfg)
 	phase1 := time.Since(t0)
-	return core.NewPipeline(coreCfg).RunWithEgos(ds, egos, phase1)
+	pipe := core.NewPipeline(coreCfg)
+	res, err := pipe.RunWithEgos(ds, egos, phase1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pipe, nil
 }
 
 // current returns the live snapshot; never nil after New succeeds.

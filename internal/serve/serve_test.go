@@ -39,6 +39,7 @@ func testServer(t testing.TB) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 

@@ -133,10 +133,11 @@ type Result struct {
 // Label returns the predicted relationship for the friendship {u,v}
 // (Unlabeled if the edge does not exist).
 func (r *Result) Label(u, v NodeID) Label {
-	if _, ok := r.inner.Probabilities[(graph.Edge{U: u, V: v}).Key()]; !ok {
+	l, ok := r.inner.PredictedLabelOK(u, v)
+	if !ok {
 		return Unlabeled
 	}
-	return r.inner.PredictedLabel(u, v)
+	return l
 }
 
 // Probabilities returns the class probability vector for the friendship
