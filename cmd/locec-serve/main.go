@@ -23,6 +23,10 @@
 //
 // With -artifact the initial snapshot is deserialized from a file written
 // by `locec train -out` instead of trained, so restarts cost O(load).
+// With -wal dir/ accepted mutations are appended to a durable write-ahead
+// log before they are applied, boot replays the log atop the last
+// checkpoint artifact, and a background checkpointer truncates the log —
+// a kill -9 loses nothing that was acknowledged (see docs/OPERATIONS.md).
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -41,6 +45,7 @@ import (
 	"locec/internal/iodata"
 	"locec/internal/serve"
 	"locec/internal/social"
+	"locec/internal/wal"
 )
 
 func main() {
@@ -58,6 +63,12 @@ func main() {
 		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
 		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
 		artifact = flag.String("artifact", "", "cold-start from a trained artifact (locec train -out) instead of training")
+
+		walDir      = flag.String("wal", "", "directory for the durable mutation WAL (empty = mutations are in-memory only)")
+		walSync     = flag.String("wal-sync", "batch", "WAL fsync policy: always (per batch), batch (per burst, group commit) or none")
+		ckptRecords = flag.Int("wal-checkpoint-records", 64, "checkpoint when the log holds this many records")
+		ckptBytes   = flag.Int64("wal-checkpoint-bytes", 4<<20, "checkpoint when the log reaches this many bytes")
+		ckptRatio   = flag.Float64("wal-checkpoint-ratio", 0.25, "checkpoint when mutations-since-checkpoint / graph edges reaches this ratio")
 	)
 	flag.Parse()
 
@@ -75,7 +86,17 @@ func main() {
 		CacheSize:  *cache,
 		Artifact:   *artifact,
 		Logger:     log,
+
+		WALDir:            *walDir,
+		CheckpointRecords: *ckptRecords,
+		CheckpointBytes:   *ckptBytes,
+		CheckpointRatio:   *ckptRatio,
 	}
+	mode, err := wal.ParseSyncMode(*walSync)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.WALSync = mode
 	if *input != "" && *artifact != "" {
 		fatal(fmt.Errorf("-input and -artifact are mutually exclusive"))
 	}

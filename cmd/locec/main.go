@@ -32,9 +32,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "train" {
-		runTrain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "train":
+			runTrain(os.Args[2:])
+			return
+		case "wal-dump":
+			runWalDump(os.Args[2:])
+			return
+		case "wal-replay":
+			runWalReplay(os.Args[2:])
+			return
+		}
 	}
 	var (
 		users   = flag.Int("users", 800, "population size (synthetic mode)")
@@ -123,6 +132,7 @@ func runTrain(args []string) {
 		epochs  = fs.Int("epochs", 8, "CommCNN training epochs")
 		input   = fs.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
 		out     = fs.String("out", "model.locec", "artifact output path")
+		embed   = fs.Bool("embed-dataset", false, "embed the raw dataset so the artifact stays mutable (required for WAL checkpoints and POST /v1/mutations after a cold start)")
 	)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
@@ -153,6 +163,11 @@ func runTrain(args []string) {
 		fatal(err)
 	}
 	art.StampCreated(time.Now())
+	if *embed {
+		if err := art.EmbedDataset(ds); err != nil {
+			fatal(err)
+		}
+	}
 	if err := art.SaveFile(*out); err != nil {
 		fatal(err)
 	}

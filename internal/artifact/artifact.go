@@ -30,6 +30,7 @@ import (
 
 	"locec/internal/core"
 	"locec/internal/graph"
+	"locec/internal/social"
 )
 
 // Magic identifies a locec artifact file; it is the first 8 bytes.
@@ -46,6 +47,7 @@ const (
 	secModel    = "model"    // Phase II classifier blob (optional)
 	secCombiner = "combiner" // Phase III logistic regression (optional)
 	secPreds    = "preds"    // per-edge predictions + probabilities
+	secDataset  = "dataset"  // raw dataset: features/labels/interactions (optional)
 )
 
 // Sentinel errors for the corruption and compatibility paths; tests and
@@ -87,6 +89,13 @@ type Meta struct {
 	// nanoseconds, keyed like core.PhaseTimes.Map, so a consumer restored
 	// from file can still report what training cost.
 	PhaseNs map[string]float64 `json:"phase_ns,omitempty"`
+	// Epoch / WALSeq stamp checkpoint artifacts written by the WAL
+	// checkpointer: the mutation epoch the snapshot captured and the last
+	// WAL sequence number whose effects it includes. Recovery replays only
+	// log records with seq > WALSeq, which is what makes the
+	// checkpoint-then-truncate dance crash-safe in either order.
+	Epoch  int64  `json:"epoch,omitempty"`
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // Artifact is one snapshot, either built live from a pipeline run (New)
@@ -99,6 +108,7 @@ type Artifact struct {
 	// live side (New)
 	g  *graph.Graph
 	ex *core.Export
+	ds *social.Dataset // optional; EmbedDataset / decoded dataset section
 
 	// loaded side (Load): raw verified section payloads, decoded on
 	// first access into g / ex above.
@@ -151,6 +161,67 @@ func phaseNs(t core.PhaseTimes) map[string]float64 {
 // content-addressed stores) simply skip this.
 func (a *Artifact) StampCreated(t time.Time) {
 	a.meta.CreatedAtUnix = t.Unix()
+}
+
+// StampWAL records the serving epoch and the last WAL sequence number
+// whose effects the snapshot includes; the WAL checkpointer calls this so
+// recovery knows which log records the checkpoint already covers.
+func (a *Artifact) StampWAL(epoch int64, seq uint64) {
+	a.meta.Epoch = epoch
+	a.meta.WALSeq = seq
+}
+
+// EmbedDataset attaches the raw dataset — user features, interaction
+// counts, ground-truth labels and the revealed set — so the snapshot
+// stays *mutable*: a server restored from it can keep applying
+// incremental mutations instead of serving read-only. The dataset's
+// graph must be the artifact's graph. Adds the optional "dataset"
+// section; readers that predate it simply ignore the tag.
+func (a *Artifact) EmbedDataset(ds *social.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("artifact: nil dataset")
+	}
+	if len(ds.UserFeatures) != a.meta.Nodes {
+		return fmt.Errorf("artifact: dataset has %d user rows, meta declares %d nodes",
+			len(ds.UserFeatures), a.meta.Nodes)
+	}
+	a.ds = ds
+	return nil
+}
+
+// HasDataset reports whether the snapshot carries the raw dataset (either
+// embedded live or present as a loaded section).
+func (a *Artifact) HasDataset() bool {
+	return a.ds != nil || len(a.raw[secDataset]) > 0
+}
+
+// Dataset returns the embedded raw dataset, decoding the section on first
+// access for loaded artifacts, with its graph wired to the artifact's.
+// Returns (nil, nil) when the artifact carries no dataset section — a
+// train-only snapshot, valid but immutable.
+func (a *Artifact) Dataset() (*social.Dataset, error) {
+	if a.ds != nil {
+		return a.ds, nil
+	}
+	blob := a.raw[secDataset]
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	g, err := a.Graph()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := decodeDataset(blob)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: dataset section: %w", err)
+	}
+	if len(ds.UserFeatures) != a.meta.Nodes {
+		return nil, fmt.Errorf("artifact: dataset section has %d user rows, meta declares %d nodes",
+			len(ds.UserFeatures), a.meta.Nodes)
+	}
+	ds.G = g
+	a.ds = ds
+	return ds, nil
 }
 
 // Meta returns the metadata section.
@@ -271,6 +342,11 @@ func (a *Artifact) Save(w io.Writer) error {
 		sections = append(sections, section{secCombiner, blob})
 	}
 	sections = append(sections, section{secPreds, encodePreds(ex)})
+	if ds, err := a.Dataset(); err != nil {
+		return err
+	} else if ds != nil {
+		sections = append(sections, section{secDataset, encodeDataset(ds)})
+	}
 
 	header := make([]byte, 0, headerSize(len(sections)))
 	header = append(header, Magic...)

@@ -9,6 +9,7 @@ import (
 	"locec/internal/artifact"
 	"locec/internal/core"
 	"locec/internal/social"
+	"locec/internal/testutil"
 	"locec/internal/wechat"
 )
 
@@ -225,30 +226,15 @@ func TestCorruptionChecksum(t *testing.T) {
 	}
 }
 
-// TestCorruptionNeverPanics fuzzes every single-byte corruption of a real
-// artifact plus a range of truncations through Load *and* full decode; any
-// outcome is acceptable except a panic.
+// TestCorruptionNeverPanics drives the shared corruption diet — bit
+// flips, truncations, duplicated bytes — through Load *and* full decode;
+// any outcome is acceptable except a panic. FuzzArtifact seeds from the
+// same corpus (over an artifact with a dataset section) and goes further
+// under -fuzz.
 func TestCorruptionNeverPanics(t *testing.T) {
 	_, _, data := saved(t, "xgb")
-	decodeAll := func(b []byte) {
-		art, err := artifact.Load(bytes.NewReader(b))
-		if err != nil {
-			return
-		}
-		if _, err := art.Graph(); err != nil {
-			return
-		}
-		_, _ = art.Export()
-	}
-	// Single-byte flips at a spread of offsets (every byte would be slow).
-	step := len(data)/512 + 1
-	for off := 0; off < len(data); off += step {
-		bad := bytes.Clone(data)
-		bad[off] ^= 0x55
-		decodeAll(bad)
-	}
-	for cut := 0; cut < len(data); cut += step {
-		decodeAll(data[:cut])
+	for _, bad := range testutil.Corruptions(data) {
+		decodeArtifact(bad)
 	}
 }
 

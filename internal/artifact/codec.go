@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"locec/internal/core"
 	"locec/internal/graph"
@@ -318,6 +319,134 @@ func decodePreds(b []byte, ex *core.Export) error {
 		ex.Probabilities[i] = c.f64()
 	}
 	return c.err("preds")
+}
+
+// ---- dataset section ------------------------------------------------
+
+// encodeDataset serializes the raw problem instance so a snapshot can be
+// mutated after restore: user feature matrix, per-edge interaction
+// vectors, ground-truth labels and the revealed set. The graph itself is
+// NOT repeated — the dataset shares the artifact's graph section. Map
+// entries are written in ascending key order so identical datasets
+// produce byte-identical sections.
+func encodeDataset(ds *social.Dataset) []byte {
+	fdim := ds.NumFeatureDims()
+	out := appendU64(nil, uint64(len(ds.UserFeatures)))
+	out = appendU32(out, uint32(fdim))
+	for _, row := range ds.UserFeatures {
+		for _, v := range row {
+			out = appendF64(out, v)
+		}
+	}
+	idim := 0
+	ikeys := sortedKeys(ds.Interactions)
+	if len(ikeys) > 0 {
+		idim = len(ds.Interactions[ikeys[0]])
+	}
+	out = appendU32(out, uint32(idim))
+	out = appendU64(out, uint64(len(ikeys)))
+	for _, k := range ikeys {
+		out = appendU64(out, k)
+		for _, v := range ds.Interactions[k] {
+			out = appendF64(out, v)
+		}
+	}
+	lkeys := sortedKeys(ds.TrueLabels)
+	out = appendU64(out, uint64(len(lkeys)))
+	for _, k := range lkeys {
+		out = appendU64(out, k)
+		out = append(out, byte(int8(ds.TrueLabels[k])))
+	}
+	rkeys := make([]uint64, 0, len(ds.Revealed))
+	for k, on := range ds.Revealed {
+		if on {
+			rkeys = append(rkeys, k)
+		}
+	}
+	slices.Sort(rkeys)
+	out = appendU64(out, uint64(len(rkeys)))
+	for _, k := range rkeys {
+		out = appendU64(out, k)
+	}
+	return out
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func decodeDataset(b []byte) (*social.Dataset, error) {
+	c := &cursor{b: b}
+	nusers := int(c.u64())
+	fdim := int(c.u32())
+	if c.fail || nusers < 0 || fdim < 0 || fdim > 1<<20 ||
+		(fdim > 0 && nusers > (len(b)-c.off)/(8*fdim)) || nusers > len(b) {
+		return nil, fmt.Errorf("dataset header corrupt (users=%d, fdim=%d)", nusers, fdim)
+	}
+	ds := &social.Dataset{UserFeatures: make([][]float64, nusers)}
+	flat := make([]float64, nusers*fdim)
+	for i := range ds.UserFeatures {
+		row := flat[i*fdim : (i+1)*fdim : (i+1)*fdim]
+		for j := range row {
+			row[j] = c.f64()
+		}
+		ds.UserFeatures[i] = row
+	}
+	idim := int(c.u32())
+	if c.fail || idim < 0 || idim > 255 {
+		return nil, fmt.Errorf("dataset interaction width corrupt (%d)", idim)
+	}
+	ninter := int(c.u64())
+	if c.fail || ninter < 0 || ninter > (len(b)-c.off)/(8+8*idim) {
+		return nil, fmt.Errorf("dataset interaction count corrupt (%d)", ninter)
+	}
+	ds.Interactions = make(map[uint64][]float64, ninter)
+	for i := 0; i < ninter; i++ {
+		k := c.u64()
+		row := make([]float64, idim)
+		for j := range row {
+			row[j] = c.f64()
+		}
+		if c.fail {
+			break
+		}
+		ds.Interactions[k] = row
+	}
+	nlab := int(c.u64())
+	if c.fail || nlab < 0 || nlab > (len(b)-c.off)/9 {
+		return nil, fmt.Errorf("dataset label count corrupt (%d)", nlab)
+	}
+	ds.TrueLabels = make(map[uint64]social.Label, nlab)
+	for i := 0; i < nlab; i++ {
+		k := c.u64()
+		lb := c.take(1)
+		if c.fail {
+			break
+		}
+		l := social.Label(int8(lb[0]))
+		if !l.ValidGroundTruth() {
+			return nil, fmt.Errorf("dataset label %d for edge %d is not a ground-truth label", int8(lb[0]), k)
+		}
+		ds.TrueLabels[k] = l
+	}
+	nrev := int(c.u64())
+	if c.fail || nrev < 0 || nrev > (len(b)-c.off)/8 {
+		return nil, fmt.Errorf("dataset revealed count corrupt (%d)", nrev)
+	}
+	ds.Revealed = make(map[uint64]bool, nrev)
+	for i := 0; i < nrev; i++ {
+		ds.Revealed[c.u64()] = true
+	}
+	if err := c.err("dataset"); err != nil {
+		return nil, err
+	}
+	return ds, nil
 }
 
 // ---- combiner section -----------------------------------------------

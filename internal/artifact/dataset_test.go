@@ -1,0 +1,106 @@
+package artifact_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"locec/internal/artifact"
+	"locec/internal/core"
+)
+
+// savedMutable serializes a trained run WITH the embedded dataset — the
+// shape every WAL checkpoint has.
+func savedMutable(t testing.TB) []byte {
+	t.Helper()
+	ds, res := trainedRun(t, "xgb")
+	res.Times = core.PhaseTimes{} // wall-clock noise; zero for determinism
+	ex, err := res.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := artifact.New(ds.G, ex, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.EmbedDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	art.StampWAL(5, 17)
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds, _ := trainedRun(t, "xgb")
+	data := savedMutable(t)
+
+	art, err := artifact.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.HasDataset() {
+		t.Fatal("dataset section lost on round trip")
+	}
+	meta := art.Meta()
+	if meta.Epoch != 5 || meta.WALSeq != 17 {
+		t.Fatalf("WAL stamps lost: epoch %d, seq %d", meta.Epoch, meta.WALSeq)
+	}
+	back, err := art.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil {
+		t.Fatal("Dataset() returned nil despite HasDataset")
+	}
+	if back.G == nil || back.G.NumNodes() != ds.G.NumNodes() || back.G.NumEdges() != ds.G.NumEdges() {
+		t.Fatal("restored dataset not wired to the artifact graph")
+	}
+	if !reflect.DeepEqual(back.UserFeatures, ds.UserFeatures) {
+		t.Fatal("user features diverge")
+	}
+	if !reflect.DeepEqual(back.Interactions, ds.Interactions) {
+		t.Fatal("interaction vectors diverge")
+	}
+	if !reflect.DeepEqual(back.TrueLabels, ds.TrueLabels) {
+		t.Fatal("labels diverge")
+	}
+	// Only revealed=true keys are persisted; the restored map must agree
+	// on exactly those.
+	for k, v := range ds.Revealed {
+		if back.Revealed[k] != v {
+			t.Fatalf("revealed flag for edge %d diverges", k)
+		}
+	}
+	for k := range back.Revealed {
+		if !ds.Revealed[k] {
+			t.Fatalf("edge %d revealed after round trip but not before", k)
+		}
+	}
+}
+
+func TestDatasetAbsent(t *testing.T) {
+	_, _, data := saved(t, "xgb")
+	art, err := artifact.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.HasDataset() {
+		t.Fatal("plain artifact claims a dataset")
+	}
+	ds, err := art.Dataset()
+	if err != nil || ds != nil {
+		t.Fatalf("Dataset() on a plain artifact: %v, %v", ds, err)
+	}
+}
+
+// TestDatasetDeterministic pins the sorted-key encoding: embedding the
+// same dataset twice yields byte-identical artifacts.
+func TestDatasetDeterministic(t *testing.T) {
+	if !bytes.Equal(savedMutable(t), savedMutable(t)) {
+		t.Fatal("identical datasets produced different artifact bytes")
+	}
+}

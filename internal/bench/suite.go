@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"sort"
+
+	"locec/internal/wal"
 )
 
 // suites maps each suite name to its scenario list. Suites are built
@@ -26,6 +28,10 @@ var suites = map[string]func() []Scenario{
 			ServeColdStartScenario(100),
 			PipelineScenario(1000, 1.0),
 			IncrementalApplyScenario(1000),
+			WALAppendScenario(1000, wal.SyncAlways),
+			WALAppendScenario(1000, wal.SyncBatch),
+			WALAppendScenario(1000, wal.SyncNone),
+			ServeReplayScenario(1000, 32),
 		}
 	},
 	// scale sweeps the population axis (Fig. 12(a) / Table VI regime):

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"locec/internal/artifact"
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/serve"
+	"locec/internal/social"
+	"locec/internal/wal"
+)
+
+// walAppendBurst is the group-commit burst size the SyncBatch append
+// scenario fsyncs at — the shape the serving layer produces when bursts
+// coalesce behind an in-flight epoch.
+const walAppendBurst = 8
+
+// WALAppendScenario measures the durable append hot path: n one-mutation
+// records into a fresh log on the real filesystem under one fsync
+// policy. Per-append latency percentiles expose the fsync tax directly:
+// sync=always pays it every record, sync=batch amortizes it over the
+// burst, sync=none defers it entirely to Close.
+func WALAppendScenario(n int, mode wal.SyncMode) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("wal/append/n=%d/sync=%s", n, mode),
+		Params: map[string]string{
+			"records": fmt.Sprint(n),
+			"sync":    mode.String(),
+			"burst":   fmt.Sprint(walAppendBurst),
+		},
+		Prepare: func() (RunFunc, error) {
+			dir := filepath.Join(os.TempDir(), "locec-bench-wal-append-"+mode.String())
+			inter := make([]float64, social.NumInteractionDims)
+			for d := range inter {
+				inter[d] = float64(d) * 0.5
+			}
+			batch := []core.Mutation{{
+				Kind: core.MutAdd, U: 1, V: 2,
+				Label: social.Family, Revealed: true, Interactions: inter,
+			}}
+			return func(m *M) error {
+				if err := os.RemoveAll(dir); err != nil {
+					return err
+				}
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return err
+				}
+				l, _, err := wal.Open(wal.OSFS{}, dir, mode)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < n; i++ {
+					t0 := time.Now()
+					if _, err := l.Append(batch); err != nil {
+						return err
+					}
+					if mode == wal.SyncBatch && (i+1)%walAppendBurst == 0 {
+						if err := l.Sync(); err != nil {
+							return err
+						}
+					}
+					m.RecordLatency(time.Since(t0))
+				}
+				if err := l.Close(); err != nil { // flushes in every mode
+					return err
+				}
+				m.SetOps(n)
+				return nil
+			}, nil
+		},
+	}
+}
+
+// ServeReplayScenario measures crash recovery end to end: boot the
+// serving layer from a WAL directory holding a checkpoint artifact plus
+// `records` logged mutation batches, replaying all of them. This is the
+// p99 that matters after a kill -9 — how long until the survivor serves
+// again.
+func ServeReplayScenario(users, records int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("serve/replay/n=%d", users),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"records":    fmt.Sprint(records),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			data, err := trainedMutableArtifact(users)
+			if err != nil {
+				return nil, err
+			}
+			artPath := filepath.Join(os.TempDir(), fmt.Sprintf("locec-bench-mutable-n%d.locec", users))
+			if err := atomicWriteFile(artPath, data); err != nil {
+				return nil, err
+			}
+			walDir := filepath.Join(os.TempDir(), fmt.Sprintf("locec-bench-wal-replay-n%d", users))
+			if err := os.RemoveAll(walDir); err != nil {
+				return nil, err
+			}
+			if err := os.MkdirAll(walDir, 0o755); err != nil {
+				return nil, err
+			}
+			cfg := serve.Config{
+				Artifact: artPath,
+				Logger:   discardLogger(),
+				WALDir:   walDir,
+				WALSync:  wal.SyncBatch,
+				// Never checkpoint on its own: the log must still hold
+				// all `records` batches when the timed boots replay it.
+				CheckpointRecords: 1 << 30,
+				CheckpointBytes:   1 << 60,
+				CheckpointRatio:   1e18,
+			}
+
+			// Seed the log: one server accepts `records` single-add
+			// batches against deterministic absent pairs, then stops.
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			pairs := make([][2]graph.NodeID, 0, records)
+			nn := graph.NodeID(ds.G.NumNodes())
+			for u := graph.NodeID(0); u < nn && len(pairs) < records; u++ {
+				for v := u + 1; v < nn && len(pairs) < records; v++ {
+					if !ds.G.HasEdge(u, v) {
+						pairs = append(pairs, [2]graph.NodeID{u, v})
+					}
+				}
+			}
+			if len(pairs) < records {
+				return nil, fmt.Errorf("bench: fixture graph too dense for %d adds", records)
+			}
+			seeder, err := serve.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for i, p := range pairs {
+				batch := []core.Mutation{{
+					Kind: core.MutAdd, U: p[0], V: p[1],
+					Label: social.Label(i % social.NumLabels), Revealed: true,
+				}}
+				if _, err := seeder.Mutate(batch, true); err != nil {
+					seeder.Close()
+					return nil, err
+				}
+			}
+			seeder.Close()
+
+			return func(m *M) error {
+				t0 := time.Now()
+				s, err := serve.New(cfg)
+				if err != nil {
+					return err
+				}
+				defer s.Close()
+				ws, ok := s.WALStats()
+				if !ok || ws.Replayed != int64(records) {
+					return fmt.Errorf("bench: replayed %d records, want %d", ws.Replayed, records)
+				}
+				m.RecordPhase("replay", time.Since(t0))
+				m.SetOps(records)
+				return nil
+			}, nil
+		},
+	}
+}
+
+// trainedMutableArtifact is trainedArtifact with the raw dataset
+// embedded — the only artifact shape a WAL replay can mutate on top of.
+// Memoized like the other fixtures.
+var (
+	mutableArtifactsMu sync.Mutex
+	mutableArtifacts   = map[int][]byte{}
+)
+
+func trainedMutableArtifact(users int) ([]byte, error) {
+	mutableArtifactsMu.Lock()
+	defer mutableArtifactsMu.Unlock()
+	if data, ok := mutableArtifacts[users]; ok {
+		return data, nil
+	}
+	ds, err := Dataset(users, 1.0, 42)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewPipeline(core.Config{
+		Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+		Classifier: &core.XGBClassifier{Seed: 1},
+		Seed:       1,
+	})
+	res, err := p.Run(ds)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Export()
+	if err != nil {
+		return nil, err
+	}
+	art, err := artifact.New(ds.G, ex, 42)
+	if err != nil {
+		return nil, err
+	}
+	if err := art.EmbedDataset(ds); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		return nil, err
+	}
+	mutableArtifacts[users] = buf.Bytes()
+	return buf.Bytes(), nil
+}
+
+// atomicWriteFile is write-then-rename into a fixed path, as the
+// cold-start scenario does: later runs overwrite instead of leaking temp
+// dirs, and a concurrent reader never sees a torn file.
+func atomicWriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "locec-bench-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"locec/internal/wal"
+)
+
+// TestWALScenariosEndToEnd runs both durability scenarios at tiny scale —
+// the plumbing guard for the smoke-suite entries.
+func TestWALScenariosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario integration runs real pipelines")
+	}
+	opt := Options{Warmup: 1, Reps: 1}
+
+	for _, mode := range []wal.SyncMode{wal.SyncAlways, wal.SyncBatch, wal.SyncNone} {
+		app, err := RunScenario(WALAppendScenario(64, mode), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.OpsPerRep != 64 || app.Latency == nil || app.Latency.Count != 64 {
+			t.Errorf("sync=%s: missing per-append latency: %+v", mode, app)
+		}
+	}
+
+	rep, err := RunScenario(ServeReplayScenario(100, 4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpsPerRep != 4 || rep.PhaseNs["replay"] <= 0 {
+		t.Errorf("replay scenario missing measurements: %+v", rep)
+	}
+}

@@ -251,7 +251,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, d := range snap.res.Times.Map() {
 		phases[name] = d.Seconds()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"snapshot":       snap.info(),
 		"reloads":        s.reloads.Load(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
@@ -271,7 +271,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"last_dirty_edges":   s.lastDirtyEdges.Load(),
 			"last_apply_seconds": float64(s.lastApplyNs.Load()) / 1e9,
 		},
-	})
+	}
+	if ws, ok := s.WALStats(); ok {
+		doc["wal"] = ws
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleArtifact serves the live snapshot as a versioned artifact file —

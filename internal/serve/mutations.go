@@ -105,14 +105,14 @@ func (s *Server) Mutate(batch []core.Mutation, wait bool) (MutationReceipt, erro
 
 // mutationWorker is the background applier: it blocks for the next job,
 // drains whatever burst accumulated behind it, and applies the coalesced
-// batch as one epoch. On Close it fails whatever is still queued so
-// waiters unblock.
+// batch as one epoch. On Close it drains and *applies* whatever is still
+// queued before exiting.
 func (s *Server) mutationWorker() {
 	defer close(s.workerDone)
 	for {
 		select {
 		case <-s.quit:
-			s.drainFailQueued()
+			s.drainApplyQueued()
 			return
 		case job := <-s.mutCh:
 			jobs := []mutationJob{job}
@@ -130,13 +130,21 @@ func (s *Server) mutationWorker() {
 	}
 }
 
-// drainFailQueued rejects every job still queued at shutdown.
-func (s *Server) drainFailQueued() {
+// drainApplyQueued applies every job still queued at shutdown. Each of
+// those jobs may already have been acknowledged with a 202, so an orderly
+// Close must apply them (and, with a WAL, make them durable), not fail
+// them. The drain is bounded: Close marks the server closed before
+// signaling quit, and Mutate refuses new jobs once closed.
+func (s *Server) drainApplyQueued() {
+	var jobs []mutationJob
 	for {
 		select {
 		case job := <-s.mutCh:
-			s.finishJob(job, mutationOutcome{err: errServerClosed}, true)
+			jobs = append(jobs, job)
 		default:
+			if len(jobs) > 0 {
+				s.applyJobs(jobs)
+			}
 			return
 		}
 	}
@@ -169,6 +177,35 @@ func (s *Server) applyJobs(jobs []mutationJob) {
 		return
 	}
 
+	// Durability first: append every job to the WAL — one record per job,
+	// so crash replay applies exactly the batches the clients sent — and
+	// group-commit the burst before anything is applied or acknowledged.
+	// A job whose append or sync fails is failed without being applied:
+	// nothing reaches the in-memory state that the log cannot replay.
+	var walSeq uint64
+	if s.walLog != nil {
+		kept := jobs[:0]
+		for _, job := range jobs {
+			seq, err := s.walLog.Append(job.batch)
+			if err != nil {
+				s.finishJob(job, mutationOutcome{err: fmt.Errorf("serve: wal append: %w", err)}, true)
+				continue
+			}
+			walSeq = seq
+			kept = append(kept, job)
+		}
+		jobs = kept
+		if len(jobs) == 0 {
+			return
+		}
+		if err := s.walLog.Sync(); err != nil {
+			for _, job := range jobs {
+				s.finishJob(job, mutationOutcome{err: fmt.Errorf("serve: wal sync: %w", err)}, true)
+			}
+			return
+		}
+	}
+
 	total := 0
 	for _, job := range jobs {
 		total += len(job.batch)
@@ -178,7 +215,7 @@ func (s *Server) applyJobs(jobs []mutationJob) {
 		coalesced = append(coalesced, job.batch...)
 	}
 	if ds, res, stats, err := snap.pipe.ApplyMutations(snap.ds, snap.res, coalesced); err == nil {
-		info := s.publishMutated(snap, ds, res, stats)
+		info := s.publishMutated(snap, ds, res, stats, walSeq)
 		for _, job := range jobs {
 			s.finishJob(job, mutationOutcome{epoch: info.Epoch, info: info, stats: stats}, false)
 		}
@@ -216,15 +253,16 @@ func (s *Server) applyJobs(jobs []mutationJob) {
 	if len(applied) == 0 {
 		return
 	}
-	info := s.publishMutated(snap, ds, res, agg)
+	info := s.publishMutated(snap, ds, res, agg, walSeq)
 	for _, a := range applied {
 		s.finishJob(a.job, mutationOutcome{epoch: info.Epoch, info: info, stats: a.stats}, false)
 	}
 }
 
 // publishMutated publishes the post-mutation snapshot and updates the
-// observability counters. Callers hold reloadMu.
-func (s *Server) publishMutated(prev *snapshot, ds *social.Dataset, res *core.Result, stats core.ApplyStats) SnapshotInfo {
+// observability counters. walSeq is the last WAL record the epoch covers
+// (0 without a WAL). Callers hold reloadMu.
+func (s *Server) publishMutated(prev *snapshot, ds *social.Dataset, res *core.Result, stats core.ApplyStats, walSeq uint64) SnapshotInfo {
 	snap := &snapshot{
 		version:   s.version.Add(1),
 		seed:      prev.seed,
@@ -234,9 +272,12 @@ func (s *Server) publishMutated(prev *snapshot, ds *social.Dataset, res *core.Re
 		pipe:      prev.pipe,
 		builtAt:   time.Now(),
 		buildTime: stats.Duration,
+		walSeq:    walSeq,
 	}
 	s.cur.Store(snap)
 	s.mutApplied.Add(int64(stats.Mutations))
+	s.walSinceCkpt.Add(int64(stats.Mutations))
+	s.kickCheckpoint()
 	s.lastDirtyNodes.Store(int64(stats.DirtyNodes))
 	s.lastDirtyEdges.Store(int64(stats.DirtyEdges))
 	s.lastApplyNs.Store(stats.Duration.Nanoseconds())

@@ -12,6 +12,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -25,6 +26,7 @@ import (
 	"locec/internal/graph"
 	"locec/internal/logreg"
 	"locec/internal/social"
+	"locec/internal/wal"
 	"locec/internal/wechat"
 )
 
@@ -60,6 +62,27 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (nil = the
 	// default slog logger).
 	Logger *slog.Logger
+
+	// WALDir, when set, makes mutations durable: every accepted batch is
+	// appended to a write-ahead log in this directory before it is
+	// applied, boot replays the log's surviving records atop the last
+	// checkpoint artifact, and a background checkpointer periodically
+	// exports a snapshot and truncates the log. See docs/OPERATIONS.md.
+	WALDir string
+	// WALSync is the fsync policy (wal.SyncBatch — group commit — by
+	// default).
+	WALSync wal.SyncMode
+	// WALFS overrides the log's filesystem; nil = the real one. The
+	// crash-injection tests inject a faulting in-memory FS here.
+	WALFS wal.FS
+	// CheckpointRecords / CheckpointBytes / CheckpointRatio tune when the
+	// checkpointer fires: log records, log bytes, or mutations applied
+	// since the last checkpoint per graph edge (the Δ/E compaction
+	// policy — big graphs checkpoint by churn fraction, not epoch count).
+	// Zero values take the defaults (64 records, 4 MiB, 0.25).
+	CheckpointRecords int
+	CheckpointBytes   int64
+	CheckpointRatio   float64
 }
 
 // snapshot is one immutable classified dataset. Everything reachable from
@@ -79,9 +102,15 @@ type snapshot struct {
 
 	// pipe is the pipeline that trained this snapshot — the incremental
 	// engine applies mutations through it so the frozen models and the
-	// division config match. nil for artifact-loaded snapshots, whose
-	// dataset carries topology only: those cannot be mutated.
+	// division config match. nil for artifact-loaded snapshots without an
+	// embedded dataset, whose graph carries topology only: those cannot
+	// be mutated.
 	pipe *core.Pipeline
+
+	// walSeq is the last WAL sequence number whose effects this snapshot
+	// includes (0 without a WAL). The checkpointer truncates the log
+	// through it; recovery replays only records beyond it.
+	walSeq uint64
 
 	// artOnce memoizes the snapshot's serialized artifact: the snapshot
 	// is immutable, so N concurrent GET /v1/artifact downloads share one
@@ -160,6 +189,15 @@ type Server struct {
 	lastDirtyNodes atomic.Int64
 	lastDirtyEdges atomic.Int64
 	lastApplyNs    atomic.Int64
+
+	// WAL state; walLog is nil when Config.WALDir is empty.
+	walFS        wal.FS
+	walLog       *wal.Log
+	walReplayed  atomic.Int64
+	walSinceCkpt atomic.Int64 // mutations since last checkpoint: Δ of Δ/E
+	ckptForce    atomic.Bool
+	ckptCh       chan struct{}
+	ckptDone     chan struct{}
 }
 
 // New builds the initial snapshot (blocking until the first classification
@@ -209,7 +247,27 @@ func New(cfg Config) (*Server, error) {
 		quit:       make(chan struct{}),
 		workerDone: make(chan struct{}),
 	}
-	if cfg.Artifact != "" {
+	if cfg.WALDir != "" {
+		if s.cfg.CheckpointRecords <= 0 {
+			s.cfg.CheckpointRecords = 64
+		}
+		if s.cfg.CheckpointBytes <= 0 {
+			s.cfg.CheckpointBytes = 4 << 20
+		}
+		if s.cfg.CheckpointRatio <= 0 {
+			s.cfg.CheckpointRatio = 0.25
+		}
+		s.walFS = cfg.WALFS
+		if s.walFS == nil {
+			s.walFS = wal.OSFS{}
+		}
+		if err := s.bootWAL(); err != nil {
+			return nil, err
+		}
+		s.ckptCh = make(chan struct{}, 1)
+		s.ckptDone = make(chan struct{})
+		go s.checkpointer()
+	} else if cfg.Artifact != "" {
 		if _, err := s.ReloadArtifact(cfg.Artifact); err != nil {
 			return nil, err
 		}
@@ -220,9 +278,12 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the background mutation applier, failing any queued
-// mutations. Readers keep working against the last published snapshot;
-// further Mutate calls return an error.
+// Close stops the background mutation applier. Jobs already accepted
+// onto the queue — every one of them may have been acknowledged with a
+// 202 — are drained and applied (and, with a WAL, made durable) before
+// Close returns: an orderly stop never loses acked batches. Readers keep
+// working against the last published snapshot; further Mutate calls
+// return an error.
 func (s *Server) Close() {
 	s.mutMu.Lock()
 	already := s.closed
@@ -232,6 +293,12 @@ func (s *Server) Close() {
 		close(s.quit)
 	}
 	<-s.workerDone
+	if s.walLog != nil {
+		<-s.ckptDone
+		if err := s.walLog.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			s.log.Error("wal close", "err", err)
+		}
+	}
 }
 
 // SnapshotInfo describes a published snapshot (returned by Reload and the
@@ -305,6 +372,12 @@ func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
 		builtAt:   time.Now(),
 		buildTime: time.Since(t0),
 	}
+	if s.walLog != nil {
+		// The fresh dataset supersedes every logged record; stamping the
+		// current sequence (and forcing a checkpoint below) truncates them
+		// away instead of replaying them onto the wrong graph.
+		snap.walSeq = s.walLog.Seq()
+	}
 	s.cur.Store(snap)
 	s.reloads.Add(1)
 	s.log.Info("snapshot published",
@@ -312,6 +385,7 @@ func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
 		"nodes", ds.G.NumNodes(), "edges", ds.G.NumEdges(),
 		"communities", len(res.Communities),
 		"build_seconds", snap.buildTime.Seconds())
+	s.forceCheckpoint()
 	return snap.info(), nil
 }
 
@@ -319,7 +393,9 @@ func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
 // (see internal/artifact and docs/FORMATS.md) — the "ship a trained
 // snapshot, swap it in" half of the offline/online split. No training
 // happens; readers keep serving the previous snapshot until the new one is
-// fully decoded, exactly as with a retrain reload.
+// fully decoded, exactly as with a retrain reload. Artifacts written with
+// an embedded dataset (locec train -embed-dataset, or any WAL checkpoint)
+// come back *mutable*; train-only artifacts serve read-only.
 func (s *Server) ReloadArtifact(path string) (SnapshotInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -328,45 +404,80 @@ func (s *Server) ReloadArtifact(path string) (SnapshotInfo, error) {
 	if err != nil {
 		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
 	}
-	g, err := art.Graph()
+	snap, err := s.snapshotFromArtifact(art, t0)
 	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
+		return SnapshotInfo{}, err
 	}
-	ex, err := art.Export()
-	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
-	}
-	// Mirror RunWithEgos's invariant: handlers index Egos by node ID, so
-	// the ego list and the graph must agree (the artifact layer pins both
-	// to its meta count; this guards the pairing directly).
-	if len(ex.Egos) != g.NumNodes() {
-		return SnapshotInfo{}, fmt.Errorf("serve: artifact has %d ego results for a %d-node graph",
-			len(ex.Egos), g.NumNodes())
-	}
-	res, err := core.NewPipeline(core.Config{Seed: art.Meta().Seed}).RunFromArtifact(ex)
-	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("serve: %w", err)
-	}
-	snap := &snapshot{
-		version: s.version.Add(1),
-		seed:    art.Meta().Seed,
-		epoch:   s.epochs.Load(),
-		// Artifact snapshots carry graph topology but no raw features or
-		// labels; every handler reads only ds.G from the dataset, and
-		// pipe stays nil so mutation requests are rejected cleanly.
-		ds:        &social.Dataset{G: g},
-		res:       res,
-		builtAt:   time.Now(),
-		buildTime: time.Since(t0),
+	if s.walLog != nil {
+		snap.walSeq = s.walLog.Seq()
 	}
 	s.cur.Store(snap)
 	s.reloads.Add(1)
 	s.log.Info("snapshot published from artifact",
 		"version", snap.version, "path", path,
-		"nodes", g.NumNodes(), "edges", g.NumEdges(),
-		"communities", len(res.Communities),
+		"nodes", snap.ds.G.NumNodes(), "edges", snap.ds.G.NumEdges(),
+		"communities", len(snap.res.Communities),
+		"mutable", snap.pipe != nil,
 		"load_seconds", snap.buildTime.Seconds())
+	s.forceCheckpoint()
 	return snap.info(), nil
+}
+
+// snapshotFromArtifact builds (but does not publish) a snapshot from a
+// decoded artifact. When the artifact embeds its raw dataset and carries
+// trained models, the snapshot is wired to a pipeline so it can keep
+// applying mutations; otherwise pipe stays nil — every handler reads only
+// ds.G from the dataset, and mutation requests are rejected cleanly.
+func (s *Server) snapshotFromArtifact(art *artifact.Artifact, t0 time.Time) (*snapshot, error) {
+	g, err := art.Graph()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ex, err := art.Export()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	// Mirror RunWithEgos's invariant: handlers index Egos by node ID, so
+	// the ego list and the graph must agree (the artifact layer pins both
+	// to its meta count; this guards the pairing directly).
+	if len(ex.Egos) != g.NumNodes() {
+		return nil, fmt.Errorf("serve: artifact has %d ego results for a %d-node graph",
+			len(ex.Egos), g.NumNodes())
+	}
+	meta := art.Meta()
+	ds, err := art.Dataset()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var res *core.Result
+	var pipe *core.Pipeline
+	if ds != nil {
+		pipe = core.NewPipeline(s.coreConfig(meta.Seed))
+		if res, err = pipe.RunFromArtifact(ex); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if res.Classifier == nil || res.Combiner == nil {
+			// The raw dataset is here but the trained models are not (no
+			// model blob in the artifact): incremental application is
+			// impossible, so the snapshot serves read-only.
+			pipe = nil
+		}
+	} else {
+		if res, err = core.NewPipeline(core.Config{Seed: meta.Seed}).RunFromArtifact(ex); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		ds = &social.Dataset{G: g}
+	}
+	return &snapshot{
+		version:   s.version.Add(1),
+		seed:      meta.Seed,
+		epoch:     s.epochs.Load(),
+		ds:        ds,
+		res:       res,
+		pipe:      pipe,
+		builtAt:   time.Now(),
+		buildTime: time.Since(t0),
+	}, nil
 }
 
 // ExportArtifact serializes the live snapshot as a versioned artifact —
@@ -381,12 +492,11 @@ func (s *Server) ExportArtifact(w io.Writer) error {
 	return err
 }
 
-// classify runs the three-phase pipeline: the Phase I division is sharded
-// by node ID across cfg.Shards workers (divideSharded), then Phases II and
-// III run through the core pipeline on the assembled ego results. The
-// pipeline is returned alongside the result so the snapshot can later
-// apply mutations through the same configuration and frozen models.
-func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, *core.Pipeline, error) {
+// coreConfig renders the server's pipeline configuration for a seed; both
+// fresh training (classify) and mutable artifact restores use it, so a
+// snapshot restored from a checkpoint applies mutations under exactly the
+// configuration that would have trained it.
+func (s *Server) coreConfig(seed int64) core.Config {
 	divCfg := core.DivisionConfig{
 		Workers:    s.cfg.Shards,
 		Seed:       seed,
@@ -410,9 +520,19 @@ func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, *core.P
 		}
 	}
 	coreCfg.Combiner = logreg.Config{Classes: social.NumLabels, Seed: seed + 101}
+	return coreCfg
+}
+
+// classify runs the three-phase pipeline: the Phase I division is sharded
+// by node ID across cfg.Shards workers (divideSharded), then Phases II and
+// III run through the core pipeline on the assembled ego results. The
+// pipeline is returned alongside the result so the snapshot can later
+// apply mutations through the same configuration and frozen models.
+func (s *Server) classify(ds *social.Dataset, seed int64) (*core.Result, *core.Pipeline, error) {
+	coreCfg := s.coreConfig(seed)
 
 	t0 := time.Now()
-	egos := divideSharded(ds, s.cfg.Shards, divCfg)
+	egos := divideSharded(ds, s.cfg.Shards, coreCfg.Division)
 	phase1 := time.Since(t0)
 	pipe := core.NewPipeline(coreCfg)
 	res, err := pipe.RunWithEgos(ds, egos, phase1)

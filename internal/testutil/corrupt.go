@@ -1,0 +1,47 @@
+// Package testutil holds shared test fixtures. It is imported only from
+// _test files, so nothing here reaches a production binary.
+package testutil
+
+import "testing"
+
+// Corruptions returns a deterministic corpus of corruptions of an encoded
+// blob — the standard never-panic diet for a binary decoder:
+//
+//   - single-byte XOR flips at a spread of offsets (every byte would be
+//     slow on real artifacts; the stride keeps the corpus ~1k variants),
+//   - truncations at the same stride (torn tails),
+//   - the blob with its own tail duplicated (repeated records), and
+//   - the blob doubled (a whole file appended to itself).
+//
+// Both the artifact store's FuzzArtifact and the WAL's FuzzReplay seed
+// from this, so the two decoders stay honest against the same failure
+// modes: bit rot, torn writes and duplicated bytes.
+func Corruptions(data []byte) [][]byte {
+	var out [][]byte
+	step := len(data)/512 + 1
+	for off := 0; off < len(data); off += step {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x55
+		out = append(out, bad)
+	}
+	for cut := 0; cut < len(data); cut += step {
+		out = append(out, append([]byte(nil), data[:cut]...))
+	}
+	if n := len(data); n > 0 {
+		tail := data[n-min(64, n):]
+		out = append(out, append(append([]byte(nil), data...), tail...))
+		out = append(out, append(append([]byte(nil), data...), data...))
+	}
+	return out
+}
+
+// SeedCorpus adds data and every Corruptions variant to a fuzz corpus, so
+// plain `go test` (no -fuzz flag) already drives the target through the
+// whole corruption diet.
+func SeedCorpus(f *testing.F, data []byte) {
+	f.Helper()
+	f.Add(append([]byte(nil), data...))
+	for _, bad := range Corruptions(data) {
+		f.Add(bad)
+	}
+}

@@ -1,0 +1,153 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpora:
+//
+//	go run ./internal/testutil/gencorpus
+//
+// It writes Go-native fuzz corpus files (the "go test fuzz v1" format)
+// under internal/wal/testdata/fuzz/FuzzReplay and
+// internal/artifact/testdata/fuzz/FuzzArtifact. The checked-in entries
+// are small adversarial shapes — torn tails, bit flips, duplicated
+// records, wrong magic — that every plain `go test` run replays; the
+// in-test SeedCorpus helper layers the full corruption diet of a live
+// blob on top.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"locec/internal/artifact"
+	"locec/internal/core"
+	"locec/internal/gbdt"
+	"locec/internal/social"
+	"locec/internal/wal"
+	"locec/internal/wechat"
+)
+
+func main() {
+	if err := writeWALCorpus("internal/wal/testdata/fuzz/FuzzReplay"); err != nil {
+		fatal(err)
+	}
+	if err := writeArtifactCorpus("internal/artifact/testdata/fuzz/FuzzArtifact"); err != nil {
+		fatal(err)
+	}
+}
+
+// writeEntry writes one corpus file in the go-fuzz v1 encoding.
+func writeEntry(dir, name string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+func writeWALCorpus(dir string) error {
+	fs := wal.NewMemFS()
+	l, _, err := wal.Open(fs, "d", wal.SyncNone)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		muts := []core.Mutation{
+			{Kind: core.MutAdd, U: uint32(i), V: uint32(i + 1),
+				Label: social.Colleague, Revealed: true,
+				Interactions: []float64{float64(i), 0.5}},
+			{Kind: core.MutRelabel, U: uint32(i + 2), V: uint32(i + 3), Label: social.Family},
+		}
+		if _, err := l.Append(muts); err != nil {
+			return err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	data, err := fs.ReadFile(wal.LogPath("d"))
+	if err != nil {
+		return err
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x55
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] ^= 0xFF
+	entries := map[string][]byte{
+		"seed-valid":     data,
+		"seed-empty":     nil,
+		"seed-torn-tail": data[:len(data)-len(data)/4],
+		"seed-header":    data[:20],
+		"seed-flip":      flipped,
+		"seed-doubled":   append(append([]byte(nil), data...), data...),
+		"seed-bad-magic": badMagic,
+	}
+	for name, b := range entries {
+		if err := writeEntry(dir, name, b); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d entries (valid log: %d bytes)\n", dir, len(entries), len(data))
+	return nil
+}
+
+func writeArtifactCorpus(dir string) error {
+	// The smallest network the pipeline trains cleanly on keeps the
+	// checked-in corpus a few KB instead of hundreds.
+	net, err := wechat.Generate(wechat.DefaultConfig(20, 7))
+	if err != nil {
+		return err
+	}
+	net.RunSurvey(0.6, 8)
+	ds := net.Dataset
+	cfg := core.Config{
+		Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+		Classifier: &core.XGBClassifier{Config: gbdt.Config{Rounds: 3, MaxDepth: 2}, Seed: 1},
+		Seed:       1,
+	}
+	res, err := core.NewPipeline(cfg).Run(ds)
+	if err != nil {
+		return err
+	}
+	res.Times = core.PhaseTimes{} // keep the corpus byte-stable across runs
+	ex, err := res.Export()
+	if err != nil {
+		return err
+	}
+	art, err := artifact.New(ds.G, ex, 7)
+	if err != nil {
+		return err
+	}
+	if err := art.EmbedDataset(ds); err != nil {
+		return err
+	}
+	art.StampWAL(2, 9)
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/3] ^= 0x55
+	badVersion := append([]byte(nil), data...)
+	badVersion[len(artifact.Magic)] = 0xFF
+	entries := map[string][]byte{
+		"seed-valid":       data,
+		"seed-truncated":   data[:len(data)/2],
+		"seed-header-only": data[:64],
+		"seed-flip":        flipped,
+		"seed-bad-version": badVersion,
+	}
+	for name, b := range entries {
+		if err := writeEntry(dir, name, b); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d entries (valid artifact: %d bytes)\n", dir, len(entries), len(data))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencorpus:", err)
+	os.Exit(1)
+}

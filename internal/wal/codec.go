@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"locec/internal/core"
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// On-disk layout (documented in docs/FORMATS.md; all integers
+// little-endian):
+//
+//	file   := header record*
+//	header := magic("LOCECWAL") u16 version u16 reserved u64 baseSeq
+//	record := u32 payloadLen u32 crc32(payload) payload
+//	payload:= u64 seq u32 nmut mutation*
+//	mutation := u8 kind u32 u u32 v u8 label(int8) u8 revealed
+//	            u8 ninter f64*ninter
+//
+// The length prefix frames records; the CRC detects torn or flipped
+// payloads. Recovery trusts a record only when its length fits the file,
+// its CRC matches and its payload decodes cleanly — anything else marks
+// the end of the trustworthy prefix (truncate-at-first-bad-record, the
+// same idiom as the artifact store's checksummed sections).
+
+// Magic identifies a locec write-ahead log; it is the first 8 bytes.
+const Magic = "LOCECWAL"
+
+// FormatVersion is the newest log format this binary writes and reads.
+const FormatVersion = 1
+
+// headerSize is the fixed log header length in bytes.
+const headerSize = len(Magic) + 2 + 2 + 8
+
+// recordHeaderSize frames each record: payload length + CRC.
+const recordHeaderSize = 8
+
+// maxPayload bounds one record so a corrupt length prefix can never
+// drive a multi-gigabyte allocation (the serving layer caps request
+// bodies at 1 MiB, so real batches are far smaller).
+const maxPayload = 16 << 20
+
+// crcTable is the polynomial every record checksum uses — the same one
+// as the artifact store.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// Batch is one logged mutation batch.
+type Batch struct {
+	// Seq is the record's log sequence number; strictly increasing
+	// within a log, assigned by Append.
+	Seq uint64
+	// Muts is the batch exactly as handed to Append.
+	Muts []core.Mutation
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func getU16(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// encodeHeader renders the fixed log header.
+func encodeHeader(baseSeq uint64) []byte {
+	out := make([]byte, 0, headerSize)
+	out = append(out, Magic...)
+	out = appendU16(out, FormatVersion)
+	out = appendU16(out, 0) // reserved
+	out = appendU64(out, baseSeq)
+	return out
+}
+
+// decodeHeader validates the fixed header and returns the base sequence.
+func decodeHeader(data []byte) (baseSeq uint64, err error) {
+	if len(data) < headerSize {
+		return 0, fmt.Errorf("wal: %w: %d bytes is shorter than the %d-byte header",
+			ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("wal: %w", ErrBadMagic)
+	}
+	version := getU16(data[len(Magic):])
+	if version == 0 || version > FormatVersion {
+		return 0, fmt.Errorf("wal: %w: log is version %d, this binary reads up to %d",
+			ErrVersion, version, FormatVersion)
+	}
+	return getU64(data[len(Magic)+4:]), nil
+}
+
+// encodeRecord renders one framed, checksummed record.
+func encodeRecord(seq uint64, muts []core.Mutation) ([]byte, error) {
+	payload := appendU64(nil, seq)
+	payload = appendU32(payload, uint32(len(muts)))
+	for i, m := range muts {
+		if len(m.Interactions) > 255 {
+			return nil, fmt.Errorf("wal: mutation %d: %d interaction dims exceed the format's 255", i, len(m.Interactions))
+		}
+		payload = append(payload, byte(m.Kind))
+		payload = appendU32(payload, uint32(m.U))
+		payload = appendU32(payload, uint32(m.V))
+		payload = append(payload, byte(int8(m.Label)))
+		if m.Revealed {
+			payload = append(payload, 1)
+		} else {
+			payload = append(payload, 0)
+		}
+		payload = append(payload, byte(len(m.Interactions)))
+		for _, x := range m.Interactions {
+			payload = appendU64(payload, math.Float64bits(x))
+		}
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte cap", len(payload), maxPayload)
+	}
+	out := make([]byte, 0, recordHeaderSize+len(payload))
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...), nil
+}
+
+// minMutationSize is the encoded floor of one mutation, used to bound a
+// corrupt count before allocating.
+const minMutationSize = 1 + 4 + 4 + 1 + 1 + 1
+
+// decodePayload decodes one verified record payload.
+func decodePayload(payload []byte) (Batch, error) {
+	if len(payload) < 12 {
+		return Batch{}, fmt.Errorf("wal: record payload %d bytes, want >= 12", len(payload))
+	}
+	b := Batch{Seq: getU64(payload)}
+	n := int(getU32(payload[8:]))
+	rest := payload[12:]
+	if n <= 0 || n > len(rest)/minMutationSize {
+		return Batch{}, fmt.Errorf("wal: record declares %d mutations in %d bytes", n, len(rest))
+	}
+	b.Muts = make([]core.Mutation, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		if len(rest)-off < minMutationSize {
+			return Batch{}, fmt.Errorf("wal: mutation %d truncated", i)
+		}
+		m := core.Mutation{
+			Kind:     core.MutationKind(rest[off]),
+			U:        graph.NodeID(getU32(rest[off+1:])),
+			V:        graph.NodeID(getU32(rest[off+5:])),
+			Label:    social.Label(int8(rest[off+9])),
+			Revealed: rest[off+10] != 0,
+		}
+		switch m.Kind {
+		case core.MutAdd, core.MutRemove, core.MutRelabel:
+		default:
+			return Batch{}, fmt.Errorf("wal: mutation %d has unknown kind %d", i, rest[off])
+		}
+		ninter := int(rest[off+11])
+		off += minMutationSize
+		if ninter > 0 {
+			if len(rest)-off < 8*ninter {
+				return Batch{}, fmt.Errorf("wal: mutation %d interaction vector truncated", i)
+			}
+			m.Interactions = make([]float64, ninter)
+			for d := 0; d < ninter; d++ {
+				m.Interactions[d] = math.Float64frombits(getU64(rest[off+8*d:]))
+			}
+			off += 8 * ninter
+		}
+		b.Muts = append(b.Muts, m)
+	}
+	if off != len(rest) {
+		return Batch{}, fmt.Errorf("wal: record has %d trailing bytes", len(rest)-off)
+	}
+	return b, nil
+}
+
+// scanRecords walks the record stream after the header and returns every
+// trustworthy batch plus the byte length of the valid prefix (header
+// included). Scanning stops — without error — at the first record whose
+// frame, checksum, payload or sequence ordering is wrong: a torn tail is
+// expected after a crash, and everything before it is intact by CRC.
+func scanRecords(data []byte, baseSeq uint64) (batches []Batch, goodLen int) {
+	off := headerSize
+	last := baseSeq
+	for {
+		if len(data)-off < recordHeaderSize {
+			return batches, off
+		}
+		plen := int(getU32(data[off:]))
+		sum := getU32(data[off+4:])
+		if plen < 12 || plen > maxPayload || len(data)-off-recordHeaderSize < plen {
+			return batches, off
+		}
+		payload := data[off+recordHeaderSize : off+recordHeaderSize+plen]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return batches, off
+		}
+		b, err := decodePayload(payload)
+		if err != nil || b.Seq <= last {
+			// A payload that checksums but does not decode, or a sequence
+			// that goes backwards, means the writer never finished this
+			// record's story; nothing after it can be trusted either.
+			return batches, off
+		}
+		last = b.Seq
+		batches = append(batches, b)
+		off += recordHeaderSize + plen
+	}
+}

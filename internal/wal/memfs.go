@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// ErrCrashed is what every MemFS operation returns once the injected
+// crash point has been reached — the moral equivalent of the process
+// being SIGKILLed: nothing after the crash point executes.
+var ErrCrashed = errors.New("wal: simulated crash (kill -9)")
+
+// MemFS is an in-memory FS with explicit durability semantics, built for
+// deterministic crash injection:
+//
+//   - Writes land in a file's volatile cache; Sync moves the cache to
+//     "disk". A crash (Crash) discards every unsynced byte, exactly like
+//     losing the page cache on power failure.
+//   - FailAfter(n) arms a fault point: the n-th mutating operation
+//     (Create, Write, Sync, Rename, Remove, SyncDir — counted in call
+//     order) fails with ErrCrashed, and so does everything after it. A
+//     crashing Write first persists a prefix of its bytes, simulating a
+//     torn write that partially reached the platter.
+//   - Renames are atomic and immediately durable (the journaled-fs
+//     assumption); file *contents* are only as durable as their last Sync.
+//
+// After Crash, reads see only the durable state; construct a fresh Log on
+// the same MemFS to exercise recovery. MemFS is safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	ops     int  // mutating operations performed
+	failAt  int  // 0 = disarmed; fails the failAt-th mutating op
+	crashed bool // every subsequent op returns ErrCrashed
+}
+
+type memFile struct {
+	durable []byte // survives Crash
+	cached  []byte // full content as the live process sees it
+}
+
+// NewMemFS returns an empty in-memory filesystem with no fault armed.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}}
+}
+
+// FailAfter arms the fault point: the n-th (1-based) subsequent mutating
+// operation crashes. n <= 0 disarms.
+func (m *MemFS) FailAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.failAt = n
+	m.crashed = false
+}
+
+// Ops returns the number of mutating operations performed since the last
+// FailAfter — how many fault points a workload exposes.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crash drops every unsynced byte, modeling the kernel page cache dying
+// with the process. The armed fault (if any) stays tripped until the next
+// FailAfter, so post-crash operations keep failing like a dead process's
+// would; recovery tests call FailAfter(0) before reopening.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.cached = append([]byte(nil), f.durable...)
+	}
+}
+
+// step counts one mutating operation and reports whether it must crash.
+func (m *MemFS) step() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if m.failAt > 0 && m.ops >= m.failAt {
+		m.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadFile implements FS. Reads are free (no fault point): a crashed
+// process does not read, and recovery runs on a fresh disarmed handle.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.cached...), nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Opening for append mutates nothing by itself; only the create of a
+	// missing file counts as a fault point.
+	f, ok := m.files[name]
+	if !ok {
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Rename implements FS: atomic and immediately durable.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS. Renames are already durable in this model, so
+// the only effect is the fault point.
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.step()
+}
+
+// memHandle is a File over a memFile.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+// Write appends to the volatile cache. At the fault point a *prefix* of
+// the bytes is persisted durably — the torn write a real disk can leave
+// behind when power dies mid-sector-stream — and ErrCrashed is returned.
+func (h *memHandle) Write(b []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("wal: write on closed file")
+	}
+	if err := h.fs.step(); err != nil {
+		if errors.Is(err, ErrCrashed) && len(b) > 0 {
+			torn := b[:len(b)/2]
+			h.f.cached = append(h.f.cached, torn...)
+			h.f.durable = append(h.f.durable, torn...)
+		}
+		return 0, err
+	}
+	h.f.cached = append(h.f.cached, b...)
+	return len(b), nil
+}
+
+// Sync flushes the cache to the durable image.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("wal: sync on closed file")
+	}
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	h.f.durable = append([]byte(nil), h.f.cached...)
+	return nil
+}
+
+// Close implements File. Closing never flushes — exactly like os.File.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
