@@ -93,6 +93,10 @@ func runDiff(oldPath string, args []string, threshold, allocsThreshold float64, 
 	}
 	d := bench.Diff(old, new, threshold, allocsThreshold)
 	d.Format(stdout)
+	if d.ScenarioMismatch() {
+		fmt.Fprintln(stderr, "locec-bench: scenario sets differ between baseline and run — the baseline is stale; refresh bench/baseline.json with: go run ./cmd/locec-bench -suite smoke -out bench/baseline.json")
+		return 1
+	}
 	if len(d.Regressions()) > 0 {
 		return 1
 	}

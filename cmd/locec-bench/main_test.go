@@ -57,6 +57,35 @@ func TestDiffExitCodes(t *testing.T) {
 	}
 }
 
+// TestDiffScenarioMismatchFails: a baseline recorded before the suite
+// gained or lost scenarios must fail the diff with a refresh hint, even
+// when every matched scenario is within threshold.
+func TestDiffScenarioMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "old.json", 1000)
+	r := bench.Report{
+		SchemaVersion: bench.SchemaVersion,
+		Suite:         "smoke",
+		GitSHA:        "test",
+		GoVersion:     "go1.24.0",
+		Results: []bench.ScenarioResult{
+			{Scenario: "pipeline/xgb/n=100/density=base", Reps: 3, OpsPerRep: 1, NsPerOp: 1000},
+			{Scenario: "divide/clauset/n=100", Reps: 3, OpsPerRep: 1, NsPerOp: 500},
+		},
+	}
+	grown := filepath.Join(dir, "grown.json")
+	if err := r.Write(grown); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-diff", base, grown}, &stdout, &stderr); got != 1 {
+		t.Fatalf("scenario mismatch: exit = %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "refresh bench/baseline.json") {
+		t.Errorf("stderr missing the refresh hint: %s", stderr.String())
+	}
+}
+
 func TestDiffUsageErrors(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "old.json", 1000)

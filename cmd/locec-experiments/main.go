@@ -8,7 +8,16 @@
 //	locec-experiments -exp fig11 -quick
 //
 // Experiments: table1 table2 table4 table5 table6
-// fig2 fig3 fig4 fig10a fig10b fig11 fig12a fig12b fig13 fig14, or "all".
+// fig2 fig3 fig4 fig10a fig10b fig11 fig12a fig12b fig13 fig14, plus the
+// extensions ablation and frontier, or "all".
+//
+// The eval-smoke mode is the CI quality gate: it runs the detector
+// frontier plus a CNN reference, writes the tracked macro-F1 metrics as
+// JSON, and (with -eval-diff) fails when any metric drops below its
+// pinned baseline:
+//
+//	locec-experiments -eval-smoke -quick -eval-out EVAL_smoke.json \
+//	    -eval-diff bench/eval-baseline.json
 package main
 
 import (
@@ -23,10 +32,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run (comma-separated, or 'all')")
-		users = flag.Int("users", 0, "population size (0 = experiment default)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		quick = flag.Bool("quick", false, "reduced sweeps and training budgets")
+		exp         = flag.String("exp", "all", "experiment to run (comma-separated, or 'all')")
+		users       = flag.Int("users", 0, "population size (0 = experiment default)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		quick       = flag.Bool("quick", false, "reduced sweeps and training budgets")
+		evalSmoke   = flag.Bool("eval-smoke", false, "run the eval quality gate instead of -exp")
+		evalOut     = flag.String("eval-out", "EVAL_smoke.json", "eval-smoke report output path")
+		evalDiff    = flag.String("eval-diff", "", "baseline eval json; fail when a tracked metric drops below it")
+		evalEpsilon = flag.Float64("eval-epsilon", 0, "allowed absolute metric drop before the gate fails (0 = default)")
 	)
 	flag.Parse()
 
@@ -38,6 +51,10 @@ func main() {
 		opt.Users = *users
 	}
 	opt.Seed = *seed
+
+	if *evalSmoke {
+		os.Exit(runEvalSmoke(opt, *evalOut, *evalDiff, *evalEpsilon))
+	}
 
 	type runner struct {
 		name string
@@ -78,6 +95,7 @@ func main() {
 		{"fig13", func() (fmt.Stringer, error) { return experiments.Fig13(opt) }},
 		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(opt) }},
 		{"ablation", func() (fmt.Stringer, error) { return experiments.Ablations(opt) }},
+		{"frontier", func() (fmt.Stringer, error) { return experiments.DetectorFrontier(opt) }},
 	}
 
 	want := map[string]bool{}
@@ -103,6 +121,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "locec-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runEvalSmoke runs the quality gate: measure, write, optionally diff.
+func runEvalSmoke(opt experiments.Options, out, diff string, epsilon float64) int {
+	t0 := time.Now()
+	report, err := experiments.EvalSmoke(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locec-experiments: eval-smoke:", err)
+		return 1
+	}
+	if err := report.Write(out); err != nil {
+		fmt.Fprintln(os.Stderr, "locec-experiments: eval-smoke:", err)
+		return 1
+	}
+	fmt.Printf("eval-smoke (%.1fs) -> %s\n", time.Since(t0).Seconds(), out)
+	for _, m := range report.Metrics {
+		fmt.Printf("  %-28s %.4f\n", m.Name, m.Value)
+	}
+	if diff == "" {
+		return 0
+	}
+	baseline, err := experiments.ReadEvalReport(diff)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locec-experiments: eval-smoke:", err)
+		return 2
+	}
+	failures := experiments.DiffEval(baseline, report, epsilon)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "locec-experiments: eval gate:", f)
+		}
+		fmt.Fprintln(os.Stderr, "locec-experiments: eval gate failed; if the change is an intended quality shift, refresh the baseline with: go run ./cmd/locec-experiments -eval-smoke -quick -eval-out bench/eval-baseline.json")
+		return 1
+	}
+	fmt.Printf("eval gate: all %d metrics within epsilon of %s\n", len(baseline.Metrics), diff)
+	return 0
 }
 
 // str adapts a plain string to fmt.Stringer.

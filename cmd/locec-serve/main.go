@@ -58,7 +58,7 @@ func main() {
 		k        = flag.Int("k", 16, "feature matrix rows (CommCNN)")
 		epochs   = flag.Int("epochs", 8, "CommCNN training epochs")
 		shards   = flag.Int("shards", 0, "worker shards for division and training (0 = GOMAXPROCS)")
-		detector = flag.String("detector", "gn", "Phase I detector: gn, labelprop or louvain")
+		detector = flag.String("detector", "gn", "Phase I detector: gn, labelprop, louvain, clauset, lshell or lemon")
 		patience = flag.Int("gn-patience", 20, "Girvan-Newman early-stop patience (0 = exact)")
 		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
 		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")

@@ -46,14 +46,15 @@ func main() {
 		}
 	}
 	var (
-		users   = flag.Int("users", 800, "population size (synthetic mode)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		survey  = flag.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
-		variant = flag.String("variant", "cnn", "community classifier: cnn or xgb")
-		k       = flag.Int("k", 16, "feature matrix rows (CommCNN)")
-		epochs  = flag.Int("epochs", 8, "CommCNN training epochs")
-		input   = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
-		export  = flag.String("export", "", "write per-edge predictions to this CSV file")
+		users    = flag.Int("users", 800, "population size (synthetic mode)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		survey   = flag.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
+		variant  = flag.String("variant", "cnn", "community classifier: cnn or xgb")
+		k        = flag.Int("k", 16, "feature matrix rows (CommCNN)")
+		epochs   = flag.Int("epochs", 8, "CommCNN training epochs")
+		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
+		export   = flag.String("export", "", "write per-edge predictions to this CSV file")
+		detector = flag.String("detector", "gn", "Phase I detector: gn, labelprop, louvain, clauset, lshell or lemon")
 	)
 	flag.Parse()
 
@@ -76,8 +77,13 @@ func main() {
 	if *variant == "xgb" {
 		cfg.Variant = locec.VariantXGB
 	}
-	fmt.Printf("locec: %d users, %d friendships, %d labeled (train) / %d held out, variant %s\n",
-		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.LabeledEdges()), len(test), cfg.Variant)
+	det, err := locec.ParseDetector(*detector)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Detector = det
+	fmt.Printf("locec: %d users, %d friendships, %d labeled (train) / %d held out, variant %s, detector %s\n",
+		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.LabeledEdges()), len(test), cfg.Variant, *detector)
 
 	res, err := locec.Classify(ds, cfg)
 	if err != nil {
@@ -124,15 +130,16 @@ func main() {
 func runTrain(args []string) {
 	fs := flag.NewFlagSet("locec train", flag.ExitOnError)
 	var (
-		users   = fs.Int("users", 800, "population size (synthetic mode)")
-		seed    = fs.Int64("seed", 42, "random seed")
-		survey  = fs.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
-		variant = fs.String("variant", "cnn", "community classifier: cnn or xgb")
-		k       = fs.Int("k", 16, "feature matrix rows (CommCNN)")
-		epochs  = fs.Int("epochs", 8, "CommCNN training epochs")
-		input   = fs.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
-		out     = fs.String("out", "model.locec", "artifact output path")
-		embed   = fs.Bool("embed-dataset", false, "embed the raw dataset so the artifact stays mutable (required for WAL checkpoints and POST /v1/mutations after a cold start)")
+		users    = fs.Int("users", 800, "population size (synthetic mode)")
+		seed     = fs.Int64("seed", 42, "random seed")
+		survey   = fs.Float64("survey", 0.4, "fraction of edges with revealed labels (synthetic mode)")
+		variant  = fs.String("variant", "cnn", "community classifier: cnn or xgb")
+		k        = fs.Int("k", 16, "feature matrix rows (CommCNN)")
+		epochs   = fs.Int("epochs", 8, "CommCNN training epochs")
+		input    = fs.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
+		out      = fs.String("out", "model.locec", "artifact output path")
+		detector = fs.String("detector", "gn", "Phase I detector: gn, labelprop, louvain, clauset, lshell or lemon")
+		embed    = fs.Bool("embed-dataset", false, "embed the raw dataset so the artifact stays mutable (required for WAL checkpoints and POST /v1/mutations after a cold start)")
 	)
 	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
@@ -147,8 +154,13 @@ func runTrain(args []string) {
 	if *variant == "xgb" {
 		cfg.Variant = locec.VariantXGB
 	}
-	fmt.Printf("locec train: %d users, %d friendships, %d labeled, variant %s\n",
-		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.LabeledEdges()), cfg.Variant)
+	det, err := locec.ParseDetector(*detector)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Detector = det
+	fmt.Printf("locec train: %d users, %d friendships, %d labeled, variant %s, detector %s\n",
+		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.LabeledEdges()), cfg.Variant, *detector)
 
 	res, err := locec.Classify(ds, cfg)
 	if err != nil {

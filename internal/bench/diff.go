@@ -38,11 +38,22 @@ type DiffReport struct {
 	Threshold       float64     `json:"threshold"`
 	AllocsThreshold float64     `json:"allocs_threshold,omitempty"`
 	Entries         []DiffEntry `json:"entries"`
-	// OnlyOld / OnlyNew list scenarios present in just one report;
-	// they never gate, but the output surfaces them so renames and
-	// dropped coverage stay visible.
+	// OnlyOld / OnlyNew list scenarios present in just one report. They
+	// never gate on performance, but a non-empty list means the baseline
+	// and the run measured different scenario sets — see
+	// ScenarioMismatch.
 	OnlyOld []string `json:"only_old,omitempty"`
 	OnlyNew []string `json:"only_new,omitempty"`
+}
+
+// ScenarioMismatch reports whether the two reports covered different
+// scenario sets — a stale baseline (suite gained or lost scenarios since
+// the baseline was recorded). A CI diff against a mismatched baseline is
+// silently partial: new scenarios have no reference and dropped ones stop
+// being watched, so callers should fail and ask for a baseline refresh
+// rather than pretend the comparison was complete.
+func (d DiffReport) ScenarioMismatch() bool {
+	return len(d.OnlyOld) > 0 || len(d.OnlyNew) > 0
 }
 
 // Diff matches scenarios by name and flags every one whose ns/op grew by

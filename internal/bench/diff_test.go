@@ -87,7 +87,13 @@ func TestDiffDisjointScenarios(t *testing.T) {
 		t.Errorf("only_new = %v", d.OnlyNew)
 	}
 	if len(d.Regressions()) != 0 {
-		t.Error("disjoint scenarios must not gate")
+		t.Error("disjoint scenarios must not performance-gate")
+	}
+	if !d.ScenarioMismatch() {
+		t.Error("disjoint scenario sets must report a mismatch (stale baseline)")
+	}
+	if Diff(old, old, 0.30, 0.50).ScenarioMismatch() {
+		t.Error("identical scenario sets reported as mismatched")
 	}
 }
 

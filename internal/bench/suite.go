@@ -22,12 +22,16 @@ var suites = map[string]func() []Scenario{
 			TrainCommCNNScenario(100, 6),
 			CombineScenario(100),
 			DivideScenario("labelprop", 100),
+			DivideScenario("clauset", 100),
+			DivideScenario("lshell", 100),
+			DivideScenario("lemon", 100),
 			ServeLookupScenario(100, 400),
 			ServeClassifyScenario(100, 16, 400),
 			ArtifactLoadScenario(100),
 			ServeColdStartScenario(100),
 			PipelineScenario(1000, 1.0),
 			IncrementalApplyScenario(1000),
+			IncrementalApplySeededScenario(1000),
 			WALAppendScenario(1000, wal.SyncAlways),
 			WALAppendScenario(1000, wal.SyncBatch),
 			WALAppendScenario(1000, wal.SyncNone),
@@ -60,6 +64,9 @@ var suites = map[string]func() []Scenario{
 			DivideScenario("gn", 400),
 			DivideScenario("labelprop", 400),
 			DivideScenario("louvain", 400),
+			DivideScenario("clauset", 400),
+			DivideScenario("lshell", 400),
+			DivideScenario("lemon", 400),
 		}
 	},
 	// serve measures the serving layer at a more realistic scale than

@@ -7,8 +7,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"locec/internal/community"
 	"locec/internal/graph"
@@ -63,6 +66,11 @@ type EgoResult struct {
 	Tightness []float64
 	// Comms are the local communities of this ego network.
 	Comms []*LocalCommunity
+	// Local holds the seed-growth provenance when a local detector
+	// produced this result (nil for global detectors and for results
+	// restored from artifacts — the artifact codec does not serialize
+	// it). The incremental engine's seeded re-division replays it.
+	Local *community.LocalDivision
 }
 
 // CommunityOf returns the local community containing friend u and u's
@@ -93,7 +101,81 @@ const (
 	DetectorLabelProp
 	// DetectorLouvain is the greedy-modularity ablation alternative.
 	DetectorLouvain
+	// DetectorClauset grows communities by greedy local-modularity
+	// boundary expansion from a seed (Clauset 2005).
+	DetectorClauset
+	// DetectorLShell grows communities shell by shell with an
+	// emerging-degree cutoff (Bagrow & Bollt 2005).
+	DetectorLShell
+	// DetectorLemon grows communities by local spectral diffusion
+	// (Li et al. 2015, simplified).
+	DetectorLemon
 )
+
+// String returns the registry name used by CLIs, bench scenarios and the
+// serving layer.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectorLabelProp:
+		return "labelprop"
+	case DetectorLouvain:
+		return "louvain"
+	case DetectorClauset:
+		return "clauset"
+	case DetectorLShell:
+		return "lshell"
+	case DetectorLemon:
+		return "lemon"
+	default:
+		return "gn"
+	}
+}
+
+// Local reports whether the detector is seed-grown. Local detectors store
+// their growth provenance on the EgoResult, which the incremental engine's
+// seeded re-division path replays (see divideNodesSeeded).
+func (k DetectorKind) Local() bool {
+	return k == DetectorClauset || k == DetectorLShell || k == DetectorLemon
+}
+
+// localKind maps a local DetectorKind to its community-package selector.
+func (k DetectorKind) localKind() community.LocalKind {
+	switch k {
+	case DetectorLShell:
+		return community.LocalLShell
+	case DetectorLemon:
+		return community.LocalLemon
+	default:
+		return community.LocalClauset
+	}
+}
+
+// DetectorNames lists every registry name in declaration order.
+func DetectorNames() []string {
+	return []string{"gn", "labelprop", "louvain", "clauset", "lshell", "lemon"}
+}
+
+// ParseDetector resolves a registry name ("" selects the paper's
+// Girvan–Newman) to its DetectorKind — the single mapping the CLIs, bench
+// scenarios and serving layer share.
+func ParseDetector(name string) (DetectorKind, error) {
+	switch name {
+	case "", "gn":
+		return DetectorGirvanNewman, nil
+	case "labelprop":
+		return DetectorLabelProp, nil
+	case "louvain":
+		return DetectorLouvain, nil
+	case "clauset":
+		return DetectorClauset, nil
+	case "lshell":
+		return DetectorLShell, nil
+	case "lemon":
+		return DetectorLemon, nil
+	default:
+		return 0, fmt.Errorf("core: unknown detector %q (want one of %v)", name, DetectorNames())
+	}
+}
 
 // DivisionConfig tunes Phase I.
 type DivisionConfig struct {
@@ -178,20 +260,32 @@ func Divide1(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig) *EgoResul
 func divideOne(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig) *EgoResult {
 	en := ds.G.Ego(ego)
 	var part *community.Partition
+	var local *community.LocalDivision
 	switch cfg.Detector {
 	case DetectorLabelProp:
 		part = community.LabelPropagation(en.G, 20, cfg.Seed+int64(ego))
 	case DetectorLouvain:
 		part = community.Louvain(en.G, cfg.Seed+int64(ego))
+	case DetectorClauset, DetectorLShell, DetectorLemon:
+		local = community.LocalDivide(en.G, community.LocalOptions{Kind: cfg.Detector.localKind()})
+		part = local.Part
 	default:
 		part = community.GirvanNewman(en.G, community.Options{Patience: cfg.GNPatience})
 	}
+	return finishEgo(ds, ego, en, part, local)
+}
+
+// finishEgo turns a detector partition into the EgoResult: tightness per
+// Eq. 3 and ground-truth vote tallying — the detector-independent tail
+// shared by the full and seeded division paths.
+func finishEgo(ds *social.Dataset, ego graph.NodeID, en *graph.EgoNetwork, part *community.Partition, local *community.LocalDivision) *EgoResult {
 	res := &EgoResult{
 		Ego:       ego,
 		Members:   en.Members,
 		CommIdx:   part.Assign,
 		Tightness: make([]float64, len(en.Members)),
 		Comms:     make([]*LocalCommunity, len(part.Comms)),
+		Local:     local,
 	}
 	for ci, locals := range part.Comms {
 		members := make([]graph.NodeID, len(locals))
@@ -241,4 +335,93 @@ func divideOne(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig) *EgoRes
 		}
 	}
 	return res
+}
+
+// divideNodesSeeded is DivideNodes for the incremental engine's seeded
+// re-division mode (local detectors only). For each dirty node it first
+// checks — via the overlay's merged base+delta adjacency, so no compacted
+// graph access is needed for the decision — whether the ego's member set
+// survived the batch. Egos with a stable member set replay their stored
+// seed grows on the new graph: growth restarts only from seeds whose
+// scanned region a mutation endpoint touched, every other community is
+// reused verbatim (an early stop that is exact, not approximate — see
+// community.LocalDivision.Replay). Egos whose member set changed (mutation
+// endpoints), egos with no stored grows (artifact restores) and non-local
+// detectors fall back to a full divideOne.
+//
+// touched lists the endpoints of the batch's net topology mutations —
+// the only nodes whose adjacency rows differ between the old and new
+// graph. Returns how many egos took the seeded path.
+func (p *Pipeline) divideNodesSeeded(ds *social.Dataset, oldEgos, egos []*EgoResult, nodes []graph.NodeID, touched []graph.NodeID, ov *graph.Overlay) int {
+	cfg := p.cfg.Division
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	var seeded atomic.Int64
+	work := func(u graph.NodeID) {
+		old := oldEgos[u]
+		if old != nil && old.Local != nil && slices.Equal(old.Members, ov.Neighbors(u)) {
+			if r, ok := divideOneSeeded(ds, u, cfg, old, touched); ok {
+				egos[u] = r
+				seeded.Add(1)
+				return
+			}
+		}
+		egos[u] = divideOne(ds, u, cfg)
+	}
+	if workers <= 1 {
+		for _, u := range nodes {
+			work(u)
+		}
+		return int(seeded.Load())
+	}
+	var wg sync.WaitGroup
+	next := make(chan graph.NodeID, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				work(u)
+			}
+		}()
+	}
+	for _, u := range nodes {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+	return int(seeded.Load())
+}
+
+// divideOneSeeded re-divides a dirty ego by replaying its stored
+// seed-grown division on the mutated graph. It reports false when the ego
+// must fall back to a full re-division: non-local detector, no stored
+// grows, or a changed member set. On success the result is bit-identical
+// to divideOne on the new dataset — the equivalence VerifyIncremental
+// checks end to end.
+func divideOneSeeded(ds *social.Dataset, ego graph.NodeID, cfg DivisionConfig, old *EgoResult, touched []graph.NodeID) (*EgoResult, bool) {
+	if !cfg.Detector.Local() || old == nil || old.Local == nil {
+		return nil, false
+	}
+	en := ds.G.Ego(ego)
+	if !slices.Equal(en.Members, old.Members) {
+		return nil, false
+	}
+	// Mutation endpoints outside the ego cannot have changed its induced
+	// subgraph; map the rest to local IDs. (A member endpoint whose
+	// partner is outside the ego is marked too — conservative but exact:
+	// it only forces a re-grow, never a wrong reuse.)
+	var local []graph.NodeID
+	for _, g := range touched {
+		if l, ok := en.Local(g); ok {
+			local = append(local, l)
+		}
+	}
+	nd, _ := old.Local.Replay(en.G, community.LocalOptions{Kind: cfg.Detector.localKind()}, local)
+	return finishEgo(ds, ego, en, nd.Part, nd), true
 }

@@ -93,6 +93,17 @@ func f1(p, r float64) float64 {
 	return 2 * p * r / (p + r)
 }
 
+// MacroF1 returns the unweighted mean of the per-class F1 scores — the
+// class-balanced summary the eval gate tracks (micro-averaged Overall.F1
+// can hide a collapsed minority class behind a dominant one).
+func (r Report) MacroF1() float64 {
+	sum := 0.0
+	for c := 0; c < social.NumLabels; c++ {
+		sum += r.PerClass[c].F1
+	}
+	return sum / float64(social.NumLabels)
+}
+
 // String renders the report as a paper-style table fragment.
 func (r Report) String() string {
 	var b strings.Builder

@@ -42,6 +42,15 @@ func Ablations(opt Options) (*AblationResult, error) {
 		{"Phase I: label propagation", func(cfg *core.Config) {
 			cfg.Division.Detector = core.DetectorLabelProp
 		}},
+		{"Phase I: Clauset local-R", func(cfg *core.Config) {
+			cfg.Division.Detector = core.DetectorClauset
+		}},
+		{"Phase I: l-shell spreading", func(cfg *core.Config) {
+			cfg.Division.Detector = core.DetectorLShell
+		}},
+		{"Phase I: LEMON local spectral", func(cfg *core.Config) {
+			cfg.Division.Detector = core.DetectorLemon
+		}},
 		{"Phase II: random row order", func(cfg *core.Config) {
 			cfg.Classifier.(*core.CNNClassifier).ShuffleRows = true
 		}},

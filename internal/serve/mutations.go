@@ -280,6 +280,7 @@ func (s *Server) publishMutated(prev *snapshot, ds *social.Dataset, res *core.Re
 	s.kickCheckpoint()
 	s.lastDirtyNodes.Store(int64(stats.DirtyNodes))
 	s.lastDirtyEdges.Store(int64(stats.DirtyEdges))
+	s.lastSeededEgos.Store(int64(stats.SeededEgos))
 	s.lastApplyNs.Store(stats.Duration.Nanoseconds())
 	s.log.Info("mutation epoch applied",
 		"version", snap.version, "epoch", snap.epoch,

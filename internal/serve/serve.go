@@ -46,7 +46,8 @@ type Config struct {
 	// core.DivisionConfig.Workers value for Phase II); 0 = GOMAXPROCS.
 	Shards int
 	// Detector picks the Phase I algorithm ("gn" default, "labelprop",
-	// "louvain") and GNPatience bounds Girvan–Newman.
+	// "louvain", or a seed-grown local detector "clauset", "lshell",
+	// "lemon") and GNPatience bounds Girvan–Newman.
 	Detector   string
 	GNPatience int
 	// CacheSize bounds the batch-response LRU cache (0 = 256 entries).
@@ -188,6 +189,7 @@ type Server struct {
 	mutPending     atomic.Int64
 	lastDirtyNodes atomic.Int64
 	lastDirtyEdges atomic.Int64
+	lastSeededEgos atomic.Int64
 	lastApplyNs    atomic.Int64
 
 	// WAL state; walLog is nil when Config.WALDir is empty.
@@ -212,10 +214,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 256
 	}
-	switch cfg.Detector {
-	case "", "gn", "labelprop", "louvain":
-	default:
-		return nil, fmt.Errorf("serve: unknown detector %q (want gn, labelprop or louvain)", cfg.Detector)
+	if _, err := core.ParseDetector(cfg.Detector); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	switch cfg.Variant {
 	case "", "cnn", "xgb":
@@ -502,12 +502,8 @@ func (s *Server) coreConfig(seed int64) core.Config {
 		Seed:       seed,
 		GNPatience: s.cfg.GNPatience,
 	}
-	switch s.cfg.Detector {
-	case "labelprop":
-		divCfg.Detector = core.DetectorLabelProp
-	case "louvain":
-		divCfg.Detector = core.DetectorLouvain
-	}
+	// Validated in New; ParseDetector maps "" to Girvan–Newman.
+	divCfg.Detector, _ = core.ParseDetector(s.cfg.Detector)
 	coreCfg := core.Config{Division: divCfg, Seed: seed}
 	if s.cfg.Variant == "xgb" {
 		coreCfg.Classifier = &core.XGBClassifier{

@@ -89,7 +89,38 @@ const (
 	DetectorLabelProp
 	// DetectorLouvain is a fast greedy-modularity ablation alternative.
 	DetectorLouvain
+	// DetectorClauset grows communities by greedy local-modularity
+	// expansion from seeds (Clauset 2005) — a local detector whose
+	// results the incremental engine can replay.
+	DetectorClauset
+	// DetectorLShell grows communities shell by shell with an
+	// emerging-degree cutoff (Bagrow & Bollt 2005) — local.
+	DetectorLShell
+	// DetectorLemon grows communities by short random-walk diffusion and
+	// a local spectral sweep (Li et al. 2015, simplified) — local.
+	DetectorLemon
 )
+
+// ParseDetector maps a detector name — "gn" (or ""), "labelprop",
+// "louvain", "clauset", "lshell", "lemon" — to its Detector constant.
+func ParseDetector(name string) (Detector, error) {
+	switch name {
+	case "", "gn":
+		return DetectorGirvanNewman, nil
+	case "labelprop":
+		return DetectorLabelProp, nil
+	case "louvain":
+		return DetectorLouvain, nil
+	case "clauset":
+		return DetectorClauset, nil
+	case "lshell":
+		return DetectorLShell, nil
+	case "lemon":
+		return DetectorLemon, nil
+	default:
+		return 0, fmt.Errorf("locec: unknown detector %q (want one of %v)", name, core.DetectorNames())
+	}
+}
 
 // String implements fmt.Stringer.
 func (v Variant) String() string {
@@ -237,6 +268,12 @@ func Classify(ds *social.Dataset, cfg Config) (*Result, error) {
 		coreCfg.Division.Detector = core.DetectorLabelProp
 	case DetectorLouvain:
 		coreCfg.Division.Detector = core.DetectorLouvain
+	case DetectorClauset:
+		coreCfg.Division.Detector = core.DetectorClauset
+	case DetectorLShell:
+		coreCfg.Division.Detector = core.DetectorLShell
+	case DetectorLemon:
+		coreCfg.Division.Detector = core.DetectorLemon
 	}
 	switch cfg.Variant {
 	case VariantXGB:
