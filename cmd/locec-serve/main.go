@@ -9,7 +9,9 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                 liveness + snapshot version
+//	GET  /healthz                 pure liveness (200 even while booting)
+//	GET  /readyz                  readiness: 503 until the snapshot is
+//	                              loaded and WAL replay has completed
 //	GET  /v1/edge?u=3&v=7         one friendship's predicted type
 //	POST /v1/classify             batch lookup: {"edges":[{"u":3,"v":7},...]}
 //	GET  /v1/communities/{node}   a node's ego-network communities
@@ -23,6 +25,12 @@
 //
 // With -artifact the initial snapshot is deserialized from a file written
 // by `locec train -out` instead of trained, so restarts cost O(load).
+// With -shard i/N the instance serves one slice of an N-way cut
+// (`locec shard -n N`) behind locec-router: it loads only shard i's
+// artifact and answers 421 for data other shards own. The port is bound
+// before the snapshot loads (a boot gate answers /healthz 200 and
+// everything else 503 until then), so fleet probes can tell "booting"
+// from "dead".
 // With -wal dir/ accepted mutations are appended to a durable write-ahead
 // log before they are applied, boot replays the log atop the last
 // checkpoint artifact, and a background checkpointer truncates the log —
@@ -42,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	artifactpkg "locec/internal/artifact"
 	"locec/internal/iodata"
 	"locec/internal/serve"
 	"locec/internal/social"
@@ -63,6 +72,7 @@ func main() {
 		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
 		input    = flag.String("input", "", "load a JSON dataset (locec-datagen format) instead of synthesizing")
 		artifact = flag.String("artifact", "", "cold-start from a trained artifact (locec train -out) instead of training")
+		shard    = flag.String("shard", "", "serve one slice of a sharded fleet as \"i/N\" (requires -artifact; loads <artifact stem>-i-of-N.locec)")
 
 		walDir      = flag.String("wal", "", "directory for the durable mutation WAL (empty = mutations are in-memory only)")
 		walSync     = flag.String("wal-sync", "batch", "WAL fsync policy: always (per batch), batch (per burst, group commit) or none")
@@ -97,6 +107,32 @@ func main() {
 		fatal(err)
 	}
 	cfg.WALSync = mode
+	if *shard != "" {
+		i, n, err := parseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ShardIndex, cfg.ShardCount = i, n
+		if *artifact == "" {
+			fatal(fmt.Errorf("-shard requires -artifact (cut one with: locec shard -n %d)", n))
+		}
+		// Accept either the exact shard file or the base path the cutter
+		// was given (resolved to <stem>-i-of-N.locec).
+		if _, err := os.Stat(*artifact); err != nil {
+			resolved := artifactpkg.ShardPath(*artifact, i, n)
+			if _, rerr := os.Stat(resolved); rerr != nil {
+				fatal(fmt.Errorf("neither %s nor %s exists", *artifact, resolved))
+			}
+			*artifact = resolved
+		} else if art, err := artifactpkg.LoadFile(*artifact); err == nil && !art.Meta().Sharded() {
+			// The base (full) artifact exists on disk too; prefer the cut.
+			resolved := artifactpkg.ShardPath(*artifact, i, n)
+			if _, rerr := os.Stat(resolved); rerr == nil {
+				*artifact = resolved
+			}
+		}
+		cfg.Artifact = *artifact
+	}
 	if *input != "" && *artifact != "" {
 		fatal(fmt.Errorf("-input and -artifact are mutually exclusive"))
 	}
@@ -109,20 +145,20 @@ func main() {
 	}
 
 	if *artifact != "" {
-		log.Info("cold-starting from artifact", "path", *artifact)
+		log.Info("cold-starting from artifact", "path", *artifact, "shard", *shard)
 	} else {
 		log.Info("building initial snapshot",
 			"users", *users, "variant", *variant, "shards", *shards, "seed", *seed)
 	}
-	srv, err := serve.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	defer srv.Close()
 
+	// Bind the port before the snapshot build: while serve.New runs (a
+	// cold start, a full training run, or a WAL replay), /healthz answers
+	// 200 "booting" and everything else 503, so the fleet sees a live but
+	// not-ready process instead of connection refused.
+	gate := serve.NewBootGate()
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           gate,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -133,6 +169,14 @@ func main() {
 		log.Info("listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	gate.Ready(srv.Handler())
+	log.Info("ready")
 
 	select {
 	case <-ctx.Done():
@@ -148,6 +192,17 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseShard parses an "i/N" shard designation.
+func parseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/N (e.g. 1/4)", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %q: index out of range", s)
+	}
+	return i, n, nil
 }
 
 // loadDataset reads a locec-datagen JSON document.

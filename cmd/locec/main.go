@@ -37,12 +37,13 @@ func main() {
 		case "train":
 			runTrain(os.Args[2:])
 			return
+		case "shard":
+			runShard(os.Args[2:])
+			return
 		case "wal-dump":
-			runWalDump(os.Args[2:])
-			return
+			os.Exit(runWalDump(os.Args[2:]))
 		case "wal-replay":
-			runWalReplay(os.Args[2:])
-			return
+			os.Exit(runWalReplay(os.Args[2:]))
 		}
 	}
 	var (

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"locec/internal/artifact"
 	"locec/internal/core"
@@ -21,8 +22,10 @@ import (
 )
 
 // runWalDump prints a WAL directory's contents without locking or
-// repairing anything.
-func runWalDump(args []string) {
+// repairing anything. The return value is the process exit code: 0 for a
+// clean log, 1 when the log was truncated at a bad record — so fleet
+// tooling can detect a torn tail without parsing output.
+func runWalDump(args []string) int {
 	fs := flag.NewFlagSet("locec wal-dump", flag.ExitOnError)
 	var (
 		dir     = fs.String("dir", "", "WAL directory (as given to locec-serve -wal)")
@@ -61,20 +64,27 @@ func runWalDump(args []string) {
 		}
 	}
 	if truncated > 0 {
-		fmt.Printf("torn tail: %d bytes after the last intact record (truncated on next boot)\n", truncated)
+		fmt.Printf("wal-dump: TRUNCATED log: %d-byte torn tail after the last intact record (seq %d, %d records survive; repaired on next boot)\n",
+			truncated, baseSeq+uint64(len(batches)), len(batches))
+		return 1
 	}
+	return 0
 }
 
 // runWalReplay rebuilds the post-crash state offline and writes it as an
 // artifact: load the checkpoint, replay every surviving log record with
-// seq > the checkpoint's wal_seq, export.
-func runWalReplay(args []string) {
+// seq > the checkpoint's wal_seq, export. The return value is the
+// process exit code: 0 for a full recovery from a clean log, 1 when the
+// log was truncated at a bad record — the written artifact then reflects
+// a PARTIAL recovery (everything up to the tear), and fleet tooling must
+// decide whether that is acceptable.
+func runWalReplay(args []string) int {
 	fs := flag.NewFlagSet("locec wal-replay", flag.ExitOnError)
 	var (
 		dir      = fs.String("dir", "", "WAL directory (as given to locec-serve -wal)")
 		out      = fs.String("out", "replayed.locec", "artifact output path")
 		shards   = fs.Int("shards", 0, "worker shards for the dirty-set recompute (0 = GOMAXPROCS)")
-		detector = fs.String("detector", "gn", "Phase I detector the serving config used: gn, labelprop or louvain")
+		detector = fs.String("detector", "gn", "Phase I detector the serving config used: "+strings.Join(core.DetectorNames(), ", "))
 		patience = fs.Int("gn-patience", 20, "Girvan-Newman early-stop patience (0 = exact)")
 	)
 	_ = fs.Parse(args)
@@ -100,15 +110,11 @@ func runWalReplay(args []string) {
 	meta := art.Meta()
 
 	divCfg := core.DivisionConfig{Workers: *shards, Seed: meta.Seed, GNPatience: *patience}
-	switch *detector {
-	case "gn":
-	case "labelprop":
-		divCfg.Detector = core.DetectorLabelProp
-	case "louvain":
-		divCfg.Detector = core.DetectorLouvain
-	default:
-		fatal(fmt.Errorf("wal-replay: unknown detector %q", *detector))
+	det, err := core.ParseDetector(*detector)
+	if err != nil {
+		fatal(fmt.Errorf("wal-replay: %w", err))
 	}
+	divCfg.Detector = det
 	pipe := core.NewPipeline(core.Config{Division: divCfg, Seed: meta.Seed})
 	res, err := pipe.RunFromArtifact(ex)
 	if err != nil {
@@ -159,6 +165,9 @@ func runWalReplay(args []string) {
 		applied, skipped, meta.Epoch, *out, meta.Epoch+int64(applied), lastSeq,
 		ds.G.NumNodes(), ds.G.NumEdges())
 	if truncated > 0 {
-		fmt.Printf("note: log has a %d-byte torn tail after the last intact record\n", truncated)
+		fmt.Printf("wal-replay: PARTIAL recovery: log truncated at a bad record (%d-byte torn tail); %s holds state up to seq %d only\n",
+			truncated, *out, lastSeq)
+		return 1
 	}
+	return 0
 }

@@ -96,7 +96,20 @@ type Meta struct {
 	// checkpoint-then-truncate dance crash-safe in either order.
 	Epoch  int64  `json:"epoch,omitempty"`
 	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// ShardIndex / ShardCount stamp a per-shard artifact cut from a full
+	// snapshot by CutShards: the file carries ego results only for nodes
+	// the consistent-hash ring (internal/ring) assigns to ShardIndex, and
+	// graph edges + predictions only for edges whose canonical smaller
+	// endpoint it owns. Nodes stays the GLOBAL node count so IDs keep
+	// their meaning; Edges counts only the owned slice. ShardCount == 0
+	// marks an ordinary unsharded artifact. Readers that predate sharding
+	// ignore these fields and simply see a sparse snapshot.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
+
+// Sharded reports whether this artifact is one slice of a sharded set.
+func (m Meta) Sharded() bool { return m.ShardCount > 0 }
 
 // Artifact is one snapshot, either built live from a pipeline run (New)
 // or loaded from a byte stream (Load). Loaded sections decode lazily and

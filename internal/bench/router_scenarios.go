@@ -1,0 +1,201 @@
+package bench
+
+// Router scenarios measure the sharded serving path end to end: a
+// trained artifact is cut into N shards (the same `locec shard` code
+// path), each shard cold-starts a serve.Server on its slice, and a
+// router fronts the fleet over an in-process HandlerTransport — the
+// full routing/hedging/breaker stack with the network subtracted, so
+// the numbers isolate what the router itself costs. The shards axis
+// (1→2→4→8) is the scaling claim: per-request latency must stay flat
+// while each shard holds 1/N of the data.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"locec/internal/artifact"
+	"locec/internal/graph"
+	"locec/internal/router"
+	"locec/internal/serve"
+)
+
+// writeBenchFile atomically installs data at a fixed per-config path
+// (write-then-rename), so repeated runs overwrite instead of leaking
+// temp files and a concurrent bench run never reads a torn file.
+func writeBenchFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// routerFleet cuts the memoized trained artifact into `shards` slices,
+// cold-starts a serve.Server per slice and fronts them with a router.
+// It returns the router's handler plus the full graph for picking
+// request targets.
+func routerFleet(users, shards int) (http.Handler, *graph.Graph, error) {
+	data, err := trainedArtifact(users)
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := artifact.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := art.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	cuts, err := artifact.CutShards(art, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	handlers := make([]http.Handler, shards)
+	for i, cut := range cuts {
+		path := filepath.Join(os.TempDir(),
+			fmt.Sprintf("locec-bench-router-n%d-%d-of-%d.locec", users, i, shards))
+		var buf bytes.Buffer
+		if err := cut.Save(&buf); err != nil {
+			return nil, nil, err
+		}
+		if err := writeBenchFile(path, buf.Bytes()); err != nil {
+			return nil, nil, err
+		}
+		s, err := serve.New(serve.Config{
+			Artifact:   path,
+			ShardIndex: i,
+			ShardCount: shards,
+			Logger:     discardLogger(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		handlers[i] = s.Handler()
+	}
+	r, err := router.New(router.Config{
+		Shards:    shards,
+		Transport: &router.HandlerTransport{Handlers: handlers},
+		Seed:      1,
+		Logger:    discardLogger(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Handler(), g, nil
+}
+
+// RouterLookupScenario measures GET /v1/edge through the router: ring
+// lookup, breaker admission, hedge bookkeeping and one proxied shard
+// RPC per request. Sweeping shards at fixed n is the near-linear
+// scaling check — the per-request cost must not grow with the fleet.
+func RouterLookupScenario(users, shards, requests int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("router/lookup/shards=%d/n=%d", shards, users),
+		Params: map[string]string{
+			"users":    fmt.Sprint(users),
+			"shards":   fmt.Sprint(shards),
+			"requests": fmt.Sprint(requests),
+		},
+		Prepare: func() (RunFunc, error) {
+			h, g, err := routerFleet(users, shards)
+			if err != nil {
+				return nil, err
+			}
+			var paths []string
+			g.ForEachEdge(func(u, v graph.NodeID) {
+				if len(paths) < 256 {
+					paths = append(paths, fmt.Sprintf("/v1/edge?u=%d&v=%d", u, v))
+				}
+			})
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("bench: artifact graph has no edges")
+			}
+			return func(m *M) error {
+				m.SetOps(requests)
+				for i := 0; i < requests; i++ {
+					req := httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil)
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					m.RecordLatency(time.Since(t0))
+					if rec.Code != http.StatusOK {
+						return fmt.Errorf("bench: router lookup status %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// RouterClassifyScenario measures POST /v1/classify scatter-gather: the
+// batch splits by shard owner, fans out concurrently, and the responses
+// splice back in request order. Every response must be complete — a
+// partial answer from a healthy in-process fleet is a routing bug, so
+// the scenario fails rather than records it.
+func RouterClassifyScenario(users, shards, batch, requests int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("router/classify/shards=%d/n=%d/batch=%d", shards, users, batch),
+		Params: map[string]string{
+			"users":    fmt.Sprint(users),
+			"shards":   fmt.Sprint(shards),
+			"batch":    fmt.Sprint(batch),
+			"requests": fmt.Sprint(requests),
+		},
+		Prepare: func() (RunFunc, error) {
+			h, g, err := routerFleet(users, shards)
+			if err != nil {
+				return nil, err
+			}
+			var edges []string
+			g.ForEachEdge(func(u, v graph.NodeID) {
+				if len(edges) < batch {
+					edges = append(edges, fmt.Sprintf(`{"u":%d,"v":%d}`, u, v))
+				}
+			})
+			if len(edges) == 0 {
+				return nil, fmt.Errorf("bench: artifact graph has no edges")
+			}
+			body := `{"edges":[` + strings.Join(edges, ",") + `]}`
+			partial := []byte(`"partial":true`)
+			return func(m *M) error {
+				m.SetOps(requests)
+				for i := 0; i < requests; i++ {
+					req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					m.RecordLatency(time.Since(t0))
+					if rec.Code != http.StatusOK {
+						return fmt.Errorf("bench: router classify status %d: %s", rec.Code, rec.Body.String())
+					}
+					if bytes.Contains(rec.Body.Bytes(), partial) {
+						return fmt.Errorf("bench: healthy fleet answered partial: %s", rec.Body.String())
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}

@@ -36,6 +36,29 @@ var suites = map[string]func() []Scenario{
 			WALAppendScenario(1000, wal.SyncBatch),
 			WALAppendScenario(1000, wal.SyncNone),
 			ServeReplayScenario(1000, 32),
+			// The sharded serving path: the shards sweep at fixed n is
+			// the near-linear scaling gate (per-request router cost must
+			// not grow with the fleet); classify exercises scatter-gather
+			// across 4 shards. The router suite repeats the sweep at
+			// production scale.
+			RouterLookupScenario(100, 1, 400),
+			RouterLookupScenario(100, 2, 400),
+			RouterLookupScenario(100, 4, 400),
+			RouterLookupScenario(100, 8, 400),
+			RouterClassifyScenario(100, 4, 16, 200),
+		}
+	},
+	// router sweeps the shard axis at the n=100k wechat-scale graph —
+	// the acceptance run for near-linear lookup scaling 1→2→4→8. Too
+	// slow for the per-PR gate (training dominates), so it runs on
+	// demand like the scale sweep.
+	"router": func() []Scenario {
+		return []Scenario{
+			RouterLookupScenario(100000, 1, 2000),
+			RouterLookupScenario(100000, 2, 2000),
+			RouterLookupScenario(100000, 4, 2000),
+			RouterLookupScenario(100000, 8, 2000),
+			RouterClassifyScenario(100000, 4, 64, 500),
 		}
 	},
 	// scale sweeps the population axis (Fig. 12(a) / Table VI regime):

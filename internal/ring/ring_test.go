@@ -1,0 +1,130 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOwnerDeterministic pins that two independently built rings agree on
+// every assignment — the property the cutter, the shards and the router
+// rely on to cooperate without coordination.
+func TestOwnerDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		a := MustNew(n)
+		b := MustNew(n)
+		for key := uint64(0); key < 10000; key++ {
+			if a.Owner(key) != b.Owner(key) {
+				t.Fatalf("n=%d key=%d: independent rings disagree (%d vs %d)",
+					n, key, a.Owner(key), b.Owner(key))
+			}
+		}
+	}
+}
+
+// TestOwnerInRange pins that every key resolves to a valid shard.
+func TestOwnerInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		r := MustNew(n)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20000; i++ {
+			key := rng.Uint64()
+			s := r.Owner(key)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d key=%d: owner %d out of range", n, key, s)
+			}
+		}
+	}
+}
+
+// TestSingleShardOwnsEverything: the degenerate fleet of one.
+func TestSingleShardOwnsEverything(t *testing.T) {
+	r := MustNew(1)
+	for key := uint64(0); key < 1000; key++ {
+		if r.Owner(key) != 0 {
+			t.Fatalf("key %d owned by %d in a 1-shard ring", key, r.Owner(key))
+		}
+	}
+}
+
+// TestResizeMinimalDisruption pins the consistent-hashing contract: going
+// from N to N+1 shards moves roughly 1/(N+1) of keys — the new shard's
+// fair share — and every key that moves, moves TO the new shard. Under
+// `node % N` sharding nearly every key would move.
+func TestResizeMinimalDisruption(t *testing.T) {
+	const keys = 100000
+	for n := 1; n <= 8; n++ {
+		before := MustNew(n)
+		after := MustNew(n + 1)
+		moved := 0
+		for key := uint64(0); key < keys; key++ {
+			ob, oa := before.Owner(key), after.Owner(key)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != n {
+				t.Fatalf("n=%d->%d key=%d moved from shard %d to OLD shard %d; every moved key must land on the new shard",
+					n, n+1, key, ob, oa)
+			}
+		}
+		frac := float64(moved) / keys
+		fair := 1.0 / float64(n+1)
+		// 128 vnodes land the realized fraction near fair share; 1.5x
+		// absorbs the hash-placement variance without letting a modulo-like
+		// reshuffle (frac ~= n/(n+1)) sneak through.
+		if frac > 1.5*fair {
+			t.Fatalf("n=%d->%d: %.3f of keys moved, want <= ~1/(n+1) = %.3f", n, n+1, frac, fair)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d->%d: no keys moved; the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestBalance pins that dense node-ID keys (the real workload: IDs
+// 0..n-1) spread across shards with bounded imbalance.
+func TestBalance(t *testing.T) {
+	const keys = 100000
+	for _, n := range []int{2, 4, 8} {
+		r := MustNew(n)
+		counts := make([]int, n)
+		for key := uint64(0); key < keys; key++ {
+			counts[r.Owner(key)]++
+		}
+		mean := float64(keys) / float64(n)
+		for s, c := range counts {
+			if ratio := float64(c) / mean; ratio > 1.45 || ratio < 0.55 {
+				t.Fatalf("n=%d: shard %d owns %d keys (%.2fx the mean %.0f)", n, s, c, ratio, mean)
+			}
+		}
+	}
+}
+
+// TestOwnerEdgeCanonical pins that both orientations of an edge resolve
+// to the same owner, and that the owner is the smaller endpoint's.
+func TestOwnerEdgeCanonical(t *testing.T) {
+	r := MustNew(4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		u, v := rng.Uint32()%5000, rng.Uint32()%5000
+		if u == v {
+			continue
+		}
+		if r.OwnerEdge(u, v) != r.OwnerEdge(v, u) {
+			t.Fatalf("edge {%d,%d}: orientation changes owner", u, v)
+		}
+		lo := min(u, v)
+		if r.OwnerEdge(u, v) != r.OwnerNode(lo) {
+			t.Fatalf("edge {%d,%d}: owner %d != smaller endpoint's owner %d",
+				u, v, r.OwnerEdge(u, v), r.OwnerNode(lo))
+		}
+	}
+}
+
+func TestNewRejectsBadCounts(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := New(n); err == nil {
+			t.Fatalf("New(%d) succeeded", n)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic
+// flows), open (fail fast, no traffic), half-open (one trial request
+// probes whether the shard recovered).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker. It exists to convert a dead
+// shard's failure mode from "every request burns a full timeout+retry
+// budget" into "fail in microseconds": after threshold consecutive
+// failures the circuit opens and requests short-circuit to ErrShardDown
+// until cooldown elapses, then a single half-open trial decides between
+// reopening and closing. Both request outcomes and health-probe outcomes
+// feed record, so a recovered shard is rediscovered by the prober even
+// with no client traffic.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int // consecutive failures while closed
+	openedAt  time.Time
+	trialing  bool // a half-open trial is in flight
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed. In the open state it
+// flips to half-open once cooldown has elapsed and admits exactly one
+// trial; concurrent requests keep failing fast until the trial reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialing = true
+		return true
+	default: // half-open
+		if b.trialing {
+			return false
+		}
+		b.trialing = true
+		return true
+	}
+}
+
+// record feeds one outcome back. A half-open success closes the circuit;
+// a half-open failure reopens it and restarts the cooldown.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	case breakerOpen:
+		// A late outcome from before the trip; opening already absorbed it.
+	case breakerHalfOpen:
+		b.trialing = false
+		if ok {
+			b.state = breakerClosed
+			b.fails = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	}
+}
+
+// recordProbe feeds a health-probe outcome. Probes bypass allow, so a
+// successful probe closes the circuit directly — the probe was the
+// trial — which is how a recovered shard rejoins the fleet even when no
+// client traffic is reaching it. A failing probe counts like a failing
+// request and, while open, restarts the cooldown (the shard is
+// confirmed still dead; no point admitting a trial).
+func (b *breaker) recordProbe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		b.trialing = false
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	case breakerOpen, breakerHalfOpen:
+		b.state = breakerOpen
+		b.trialing = false
+		b.openedAt = time.Now()
+	}
+}
+
+// current returns the state for stats/readiness without side effects.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

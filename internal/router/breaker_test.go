@@ -1,0 +1,100 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("breaker closed early after %d failures", i)
+		}
+		b.record(false)
+	}
+	if b.current() != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.current())
+	}
+	b.allow()
+	b.record(false)
+	if b.current() != breakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.record(false)
+	b.record(false)
+	b.record(true) // a success wipes the consecutive-failure streak
+	b.record(false)
+	b.record(false)
+	if b.current() != breakerClosed {
+		t.Fatalf("state = %v, want closed (failures were not consecutive)", b.current())
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.record(false)
+	if b.current() != breakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if b.current() != breakerHalfOpen {
+		t.Fatalf("state during trial = %v, want half-open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.record(true)
+	if b.current() != breakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.current())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerFailedTrialReopens(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.record(false)
+	time.Sleep(10 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("no trial admitted")
+	}
+	b.record(false)
+	if b.current() != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.current())
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker admitted a request immediately")
+	}
+}
+
+func TestBreakerProbeClosesFromAnyState(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+	b.record(false)
+	if b.current() != breakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// A successful health probe is itself the trial: it closes the
+	// circuit without waiting out the cooldown.
+	b.recordProbe(true)
+	if b.current() != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.current())
+	}
+	// A failed probe while open refreshes the cooldown instead.
+	b.record(false)
+	b.recordProbe(false)
+	if b.current() != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.current())
+	}
+}

@@ -1,0 +1,188 @@
+package router
+
+// Transport is the router's only path to a shard — one interface method
+// for one HTTP exchange. Everything above it (retries, hedging,
+// breakers, scatter-gather) is pure logic over this seam, which is what
+// makes the fault matrix possible: FaultTransport wraps any inner
+// Transport and injects a deterministic drop/delay/error/kill at the
+// nth RPC, the network sibling of wal.MemFS.FailAfter.
+//
+// Two real implementations ship: HTTPTransport speaks to a fleet over
+// the network (cmd/locec-router), HandlerTransport calls in-process
+// http.Handlers directly (tests, single-binary demos).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Response is a shard's reply, fully buffered. Header is limited to what
+// the router forwards or inspects.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Transport executes one HTTP exchange against shard i. Implementations
+// must honor ctx cancellation — the router's deadlines, hedging and
+// fault tolerance all assume a Do call returns promptly once ctx is
+// done. A non-nil error means the exchange failed (network/timeout); an
+// HTTP error status is a successful exchange with a non-2xx Response.
+type Transport interface {
+	Do(ctx context.Context, shard int, method, path string, body []byte) (*Response, error)
+}
+
+// HTTPTransport reaches shards over the network at fixed base URLs.
+type HTTPTransport struct {
+	// BaseURLs[i] is shard i's root, e.g. "http://10.0.0.5:8080".
+	BaseURLs []string
+	// Client is the underlying HTTP client (http.DefaultClient if nil).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) Do(ctx context.Context, shard int, method, path string, body []byte) (*Response, error) {
+	if shard < 0 || shard >= len(t.BaseURLs) {
+		return nil, fmt.Errorf("router: shard %d out of range (%d base URLs)", shard, len(t.BaseURLs))
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(t.BaseURLs[shard], "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Body: data}, nil
+}
+
+// HandlerTransport calls in-process handlers — shard i is Handlers[i].
+// The handler runs synchronously on the caller's goroutine with the
+// request context attached, so a ctx-respecting handler (and the
+// fault-injection wrapper) behaves exactly as over a real network, minus
+// the wire.
+type HandlerTransport struct {
+	Handlers []http.Handler
+}
+
+func (t *HandlerTransport) Do(ctx context.Context, shard int, method, path string, body []byte) (*Response, error) {
+	if shard < 0 || shard >= len(t.Handlers) {
+		return nil, fmt.Errorf("router: shard %d out of range (%d handlers)", shard, len(t.Handlers))
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd).WithContext(ctx)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	t.Handlers[shard].ServeHTTP(rec, req)
+	if err := ctx.Err(); err != nil {
+		// The handler returned because the context died mid-request (the
+		// serve layer's classify loop does this); surface it as the
+		// network failure it would be on the wire.
+		return nil, err
+	}
+	return &Response{Status: rec.Code, Body: rec.Body.Bytes()}, nil
+}
+
+// Fault modes for FaultTransport.
+const (
+	// FaultError fails the RPC instantly with an injected error — a
+	// connection reset.
+	FaultError = "error"
+	// FaultDrop blackholes the RPC: it blocks until the caller's context
+	// expires — a dropped packet, a hung peer.
+	FaultDrop = "drop"
+	// FaultDelay stalls the RPC for Delay, then lets it through — a slow
+	// network, a GC pause. Observable only through hedging/timeouts.
+	FaultDelay = "delay"
+	// FaultKill fails the RPC instantly and marks the target shard dead:
+	// every later RPC to it fails too — a crashed process.
+	FaultKill = "kill"
+)
+
+// errInjected is the error surfaced by FaultError/FaultKill.
+var errInjected = fmt.Errorf("router: injected fault")
+
+// FaultTransport wraps an inner Transport and deterministically injects
+// one fault at the Nth RPC (1-based, counted across all shards in call
+// order). It is the network sibling of wal.MemFS.FailAfter: because the
+// fault point is an RPC ordinal, not a timer, a test can walk every
+// boundary of a request's RPC graph and assert the router's observable
+// behavior at each one.
+type FaultTransport struct {
+	Inner Transport
+	// Mode is one of the Fault* constants ("" injects nothing).
+	Mode string
+	// N is the 1-based RPC ordinal at which the fault fires.
+	N int64
+	// Delay is the stall duration for FaultDelay.
+	Delay time.Duration
+
+	calls  atomic.Int64
+	killed sync.Map // shard int -> struct{}
+}
+
+// Calls returns how many RPCs have been issued through this transport.
+func (t *FaultTransport) Calls() int64 { return t.calls.Load() }
+
+// Revive clears a shard's killed state — the process was restarted.
+func (t *FaultTransport) Revive(shard int) { t.killed.Delete(shard) }
+
+// Kill marks a shard dead immediately, independent of the ordinal
+// schedule — for tests that manage shard lifecycle directly.
+func (t *FaultTransport) Kill(shard int) { t.killed.Store(shard, struct{}{}) }
+
+func (t *FaultTransport) Do(ctx context.Context, shard int, method, path string, body []byte) (*Response, error) {
+	n := t.calls.Add(1)
+	if _, dead := t.killed.Load(shard); dead {
+		return nil, fmt.Errorf("%w: shard %d is dead", errInjected, shard)
+	}
+	if t.Mode != "" && n == t.N {
+		switch t.Mode {
+		case FaultError:
+			return nil, errInjected
+		case FaultDrop:
+			<-ctx.Done()
+			return nil, ctx.Err()
+		case FaultDelay:
+			select {
+			case <-time.After(t.Delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case FaultKill:
+			t.killed.Store(shard, struct{}{})
+			return nil, fmt.Errorf("%w: shard %d killed", errInjected, shard)
+		default:
+			return nil, fmt.Errorf("router: unknown fault mode %q", t.Mode)
+		}
+	}
+	return t.Inner.Do(ctx, shard, method, path, body)
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// BootGate lets a process bind its port and answer health probes before
+// the (potentially slow) first snapshot build or WAL replay finishes.
+// serve.New blocks until the server is fully ready, so without the gate a
+// booting shard is indistinguishable from a dead one: connection refused
+// either way, and a fleet orchestrator may give up on it. With the gate,
+// cmd/locec-serve listens immediately — /healthz answers 200 "booting"
+// (alive), everything else answers 503 (not ready) — and swaps in the
+// real handler the moment New returns.
+type BootGate struct {
+	inner atomic.Pointer[http.Handler]
+}
+
+// NewBootGate returns a gate in the booting state.
+func NewBootGate() *BootGate { return &BootGate{} }
+
+// Ready installs the real handler; subsequent requests route to it. Safe
+// to call concurrently with in-flight requests (pointer swap).
+func (g *BootGate) Ready(h http.Handler) { g.inner.Store(&h) }
+
+func (g *BootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.inner.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "booting"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "booting: snapshot not yet loaded")
+}

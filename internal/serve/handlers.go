@@ -33,6 +33,7 @@ func markSnapshot(w http.ResponseWriter, snap *snapshot) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/edge", s.handleEdge)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/communities/{node}", s.handleCommunities)
@@ -92,6 +93,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeMisdirected answers a request for data another shard owns with
+// 421 Misdirected Request, naming the owner. A sharded server fails loud
+// on misrouted traffic instead of returning "not found" — the latter
+// would let a misconfigured router read partial data as authoritative.
+func writeMisdirected(w http.ResponseWriter, snap *snapshot, owner int, what string) {
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error": fmt.Sprintf("%s is owned by shard %d; this is shard %d/%d",
+			what, owner, snap.shardIndex, snap.shardCount),
+		"owner_shard": owner,
+		"shard":       fmt.Sprintf("%d/%d", snap.shardIndex, snap.shardCount),
+	})
+}
+
 // parseNode parses a node ID and range-checks it against the snapshot.
 func (s *snapshot) parseNode(raw string) (graph.NodeID, error) {
 	id, err := strconv.ParseUint(raw, 10, 32)
@@ -104,7 +118,10 @@ func (s *snapshot) parseNode(raw string) (graph.NodeID, error) {
 	return graph.NodeID(id), nil
 }
 
-// handleHealthz reports liveness and the live snapshot version.
+// handleHealthz reports pure liveness: the process is up and answering.
+// It says nothing about whether a snapshot is loaded — that is /readyz —
+// so an orchestrator's restart probe never kills a server that is merely
+// still booting.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
 	markSnapshot(w, snap)
@@ -112,6 +129,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":  "ok",
 		"version": snap.version,
 	})
+}
+
+// handleReadyz reports readiness: 200 once the snapshot is loaded and WAL
+// replay has completed, 503 otherwise. Routers probe this — never
+// /healthz — so traffic is withheld from a booting or closing shard that
+// is nonetheless alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	markSnapshot(w, snap)
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not ready",
+		})
+		return
+	}
+	doc := map[string]any{
+		"status":  "ready",
+		"version": snap.version,
+	}
+	if shard := snap.info().Shard; shard != "" {
+		doc["shard"] = shard
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleEdge answers GET /v1/edge?u=&v= with the single edge's prediction.
@@ -126,6 +167,11 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	v, err := snap.parseNode(r.URL.Query().Get("v"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "v: %v", err)
+		return
+	}
+	if !snap.ownsEdge(u, v) {
+		writeMisdirected(w, snap, snap.ring.OwnerEdge(uint32(u), uint32(v)),
+			fmt.Sprintf("edge {%d,%d}", u, v))
 		return
 	}
 	res := snap.edgeResult(u, v)
@@ -176,12 +222,28 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no edges in request")
 		return
 	}
+	ctx := r.Context()
 	results := make([]edgeResult, len(req.Edges))
 	for i, e := range req.Edges {
+		// A disconnected client stops burning CPU mid-batch: check the
+		// request context between chunks (cheap enough at every-256 to be
+		// invisible on the happy path). Nothing is cached and nothing is
+		// written — the client is gone.
+		if i%256 == 0 && ctx.Err() != nil {
+			return
+		}
 		u, v := graph.NodeID(e.U), graph.NodeID(e.V)
 		if int(e.U) >= snap.ds.G.NumNodes() || int(e.V) >= snap.ds.G.NumNodes() {
 			results[i] = edgeResult{U: e.U, V: e.V}
 			continue
+		}
+		if !snap.ownsEdge(u, v) {
+			// One misrouted edge fails the whole batch: the router shards
+			// batches by ownership, so a stray edge means ring disagreement
+			// — data this shard cannot answer for, loudly.
+			writeMisdirected(w, snap, snap.ring.OwnerEdge(uint32(u), uint32(v)),
+				fmt.Sprintf("edge {%d,%d}", u, v))
+			return
 		}
 		results[i] = snap.edgeResult(u, v)
 	}
@@ -217,6 +279,11 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 	node, err := snap.parseNode(r.PathValue("node"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !snap.ownsNode(node) {
+		writeMisdirected(w, snap, snap.ring.OwnerNode(uint32(node)),
+			fmt.Sprintf("node %d", node))
 		return
 	}
 	ego := snap.res.Egos[node]

@@ -25,6 +25,7 @@ import (
 	"locec/internal/gbdt"
 	"locec/internal/graph"
 	"locec/internal/logreg"
+	"locec/internal/ring"
 	"locec/internal/social"
 	"locec/internal/wal"
 	"locec/internal/wechat"
@@ -57,6 +58,15 @@ type Config struct {
 	// pipeline — restart cost becomes O(load), not O(train). Later
 	// seed-based reloads still use Source.
 	Artifact string
+	// ShardIndex / ShardCount declare this instance one member of a
+	// sharded fleet (`locec-serve -shard i/N` behind locec-router): the
+	// artifact must be shard i of an N-way cut (`locec shard -n N`), and
+	// requests for nodes or edges the consistent-hash ring assigns to
+	// another shard are refused with 421 so a misconfigured router can
+	// never read partial data as authoritative. ShardCount 0 (the
+	// default) serves everything.
+	ShardIndex int
+	ShardCount int
 	// Source overrides the dataset source; the default synthesizes a
 	// WeChat-like network from Users/Survey and the given seed.
 	Source func(seed int64) (*social.Dataset, error)
@@ -113,6 +123,15 @@ type snapshot struct {
 	// through it; recovery replays only records beyond it.
 	walSeq uint64
 
+	// shardIndex/shardCount and ring are set when the snapshot was cut
+	// from an N-way sharded artifact set: ring is the same consistent-hash
+	// function the cutter and the router compute, used here to refuse
+	// requests for data another shard owns. ring == nil means this
+	// snapshot owns the whole graph.
+	shardIndex int
+	shardCount int
+	ring       *ring.Ring
+
 	// artOnce memoizes the snapshot's serialized artifact: the snapshot
 	// is immutable, so N concurrent GET /v1/artifact downloads share one
 	// encode and one buffer instead of paying O(edges×classes) each.
@@ -146,6 +165,17 @@ func (s *snapshot) artifactBytes() ([]byte, error) {
 	return s.artBytes, s.artErr
 }
 
+// ownsNode reports whether this snapshot holds node u's data (always
+// true for an unsharded snapshot).
+func (s *snapshot) ownsNode(u graph.NodeID) bool {
+	return s.ring == nil || s.ring.OwnerNode(uint32(u)) == s.shardIndex
+}
+
+// ownsEdge reports whether this snapshot holds edge {u,v}'s prediction.
+func (s *snapshot) ownsEdge(u, v graph.NodeID) bool {
+	return s.ring == nil || s.ring.OwnerEdge(uint32(u), uint32(v)) == s.shardIndex
+}
+
 // label returns the predicted label and probability vector for {u,v},
 // with ok=false when the edge does not exist in the snapshot. The OK form
 // guarantees an unknown edge can never surface a fabricated zero-value
@@ -167,6 +197,13 @@ type Server struct {
 	cache *lruCache
 	lat   *routeLatency
 	start time.Time
+
+	// ready flips true once New has finished — snapshot loaded, WAL
+	// replay (if any) complete, background workers running — and false
+	// again on Close. GET /readyz reports it; /healthz stays pure
+	// liveness so a router's health probe and an orchestrator's restart
+	// probe can disagree (booting: alive but not ready).
+	ready atomic.Bool
 
 	// reloadMu serializes snapshot builds (reloads and mutation epochs);
 	// readers never touch it.
@@ -222,6 +259,18 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serve: unknown variant %q (want cnn or xgb)", cfg.Variant)
 	}
+	if cfg.ShardCount < 0 || (cfg.ShardCount > 0 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount)) {
+		return nil, fmt.Errorf("serve: shard %d/%d out of range", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount > 0 {
+		if cfg.Artifact == "" {
+			return nil, fmt.Errorf("serve: shard %d/%d needs a cut artifact (locec shard -n %d, then -artifact)",
+				cfg.ShardIndex, cfg.ShardCount, cfg.ShardCount)
+		}
+		if cfg.WALDir != "" {
+			return nil, fmt.Errorf("serve: shards serve read-only; a WAL belongs on the full (trainable) server")
+		}
+	}
 	if cfg.Source == nil {
 		users, survey := cfg.Users, cfg.Survey
 		cfg.Source = func(seed int64) (*social.Dataset, error) {
@@ -275,8 +324,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	go s.mutationWorker()
+	s.ready.Store(true)
 	return s, nil
 }
+
+// Ready reports whether the server has a published snapshot and has
+// finished WAL replay — the /readyz condition.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Close stops the background mutation applier. Jobs already accepted
 // onto the queue — every one of them may have been acknowledged with a
@@ -285,6 +339,7 @@ func New(cfg Config) (*Server, error) {
 // working against the last published snapshot; further Mutate calls
 // return an error.
 func (s *Server) Close() {
+	s.ready.Store(false)
 	s.mutMu.Lock()
 	already := s.closed
 	s.closed = true
@@ -316,10 +371,19 @@ type SnapshotInfo struct {
 	// Mutable reports whether POST /v1/mutations can evolve this snapshot
 	// (false for artifact-loaded snapshots, which carry topology only).
 	Mutable bool `json:"mutable"`
+	// Shard is "i/N" when this snapshot is one slice of an N-way cut
+	// (empty for a full snapshot). Nodes/Edges then mean: Nodes is the
+	// GLOBAL node count, Edges counts only the slice's owned edges.
+	Shard string `json:"shard,omitempty"`
 }
 
 func (s *snapshot) info() SnapshotInfo {
+	shard := ""
+	if s.ring != nil {
+		shard = fmt.Sprintf("%d/%d", s.shardIndex, s.shardCount)
+	}
 	return SnapshotInfo{
+		Shard:       shard,
 		Version:     s.version,
 		Seed:        s.seed,
 		Epoch:       s.epoch,
@@ -353,6 +417,11 @@ func (s *Server) ReloadNext() (SnapshotInfo, error) {
 
 // reloadLocked builds and publishes a snapshot; callers hold reloadMu.
 func (s *Server) reloadLocked(seed int64) (SnapshotInfo, error) {
+	if s.cfg.ShardCount > 0 {
+		return SnapshotInfo{}, fmt.Errorf(
+			"serve: shard %d/%d serves a cut artifact; retraining would publish the full graph on one shard — reload with a shard artifact instead",
+			s.cfg.ShardIndex, s.cfg.ShardCount)
+	}
 	t0 := time.Now()
 	ds, err := s.cfg.Source(seed)
 	if err != nil {
@@ -445,6 +514,15 @@ func (s *Server) snapshotFromArtifact(art *artifact.Artifact, t0 time.Time) (*sn
 			len(ex.Egos), g.NumNodes())
 	}
 	meta := art.Meta()
+	// The shard stamp is intrinsic to the artifact and declared in the
+	// config; they must agree exactly. Loading the wrong slice (or a full
+	// artifact on a shard, or a slice on a full server) would serve
+	// answers the router has no way to detect as partial.
+	if meta.Sharded() != (s.cfg.ShardCount > 0) ||
+		(meta.Sharded() && (meta.ShardIndex != s.cfg.ShardIndex || meta.ShardCount != s.cfg.ShardCount)) {
+		return nil, fmt.Errorf("serve: artifact is shard %d/%d, server is configured as %d/%d (0/0 = unsharded)",
+			meta.ShardIndex, meta.ShardCount, s.cfg.ShardIndex, s.cfg.ShardCount)
+	}
 	ds, err := art.Dataset()
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -468,7 +546,7 @@ func (s *Server) snapshotFromArtifact(art *artifact.Artifact, t0 time.Time) (*sn
 		}
 		ds = &social.Dataset{G: g}
 	}
-	return &snapshot{
+	snap := &snapshot{
 		version:   s.version.Add(1),
 		seed:      meta.Seed,
 		epoch:     s.epochs.Load(),
@@ -477,7 +555,13 @@ func (s *Server) snapshotFromArtifact(art *artifact.Artifact, t0 time.Time) (*sn
 		pipe:      pipe,
 		builtAt:   time.Now(),
 		buildTime: time.Since(t0),
-	}, nil
+	}
+	if meta.Sharded() {
+		snap.shardIndex = meta.ShardIndex
+		snap.shardCount = meta.ShardCount
+		snap.ring = ring.MustNew(meta.ShardCount)
+	}
+	return snap, nil
 }
 
 // ExportArtifact serializes the live snapshot as a versioned artifact —
