@@ -67,6 +67,7 @@ func main() {
 		k        = flag.Int("k", 16, "feature matrix rows (CommCNN)")
 		epochs   = flag.Int("epochs", 8, "CommCNN training epochs")
 		shards   = flag.Int("shards", 0, "worker shards for division and training (0 = GOMAXPROCS)")
+		gbdtW    = flag.Int("gbdt-workers", 0, "GBDT split-finding workers, bit-identical trees at any value (0 = -shards)")
 		detector = flag.String("detector", "gn", "Phase I detector: gn, labelprop, louvain, clauset, lshell or lemon")
 		patience = flag.Int("gn-patience", 20, "Girvan-Newman early-stop patience (0 = exact)")
 		cache    = flag.Int("cache", 256, "batch-response LRU cache entries")
@@ -84,18 +85,19 @@ func main() {
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg := serve.Config{
-		Users:      *users,
-		Survey:     *survey,
-		Seed:       *seed,
-		Variant:    *variant,
-		K:          *k,
-		Epochs:     *epochs,
-		Shards:     *shards,
-		Detector:   *detector,
-		GNPatience: *patience,
-		CacheSize:  *cache,
-		Artifact:   *artifact,
-		Logger:     log,
+		Users:       *users,
+		Survey:      *survey,
+		Seed:        *seed,
+		Variant:     *variant,
+		K:           *k,
+		Epochs:      *epochs,
+		Shards:      *shards,
+		GBDTWorkers: *gbdtW,
+		Detector:    *detector,
+		GNPatience:  *patience,
+		CacheSize:   *cache,
+		Artifact:    *artifact,
+		Logger:      log,
 
 		WALDir:            *walDir,
 		CheckpointRecords: *ckptRecords,

@@ -1,0 +1,62 @@
+package artifact_test
+
+import (
+	"bytes"
+	"testing"
+
+	"locec/internal/artifact"
+	"locec/internal/core"
+	"locec/internal/gbdt"
+	"locec/internal/wechat"
+)
+
+// serializeParallel runs the full pipeline with the GBDT trainer fanned
+// out across `workers` goroutines and serializes the result, normalizing
+// wall-clock timings the same way TestSaveDeterministic does.
+func serializeParallel(t *testing.T, workers int) []byte {
+	t.Helper()
+	net, err := wechat.Generate(wechat.DefaultConfig(80, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunSurvey(0.5, 8)
+	ds := net.Dataset
+	cfg := core.Config{
+		Division:   core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1},
+		Classifier: &core.XGBClassifier{Seed: 1, Workers: workers, Config: gbdt.Config{Rounds: 12}},
+		Seed:       1,
+	}
+	res, err := core.NewPipeline(cfg).Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Times = core.PhaseTimes{}
+	ex, err := res.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := artifact.New(ds.G, ex, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSaveDeterministicParallelGBDT extends the cold-start byte-identity
+// contract to the parallel trainer: two full Pipeline.Runs with the same
+// seed and gbdt workers=8 serialize to the same bytes, and those bytes
+// equal the workers=1 artifact — worker count can never leak into a
+// shipped snapshot.
+func TestSaveDeterministicParallelGBDT(t *testing.T) {
+	first := serializeParallel(t, 8)
+	if !bytes.Equal(first, serializeParallel(t, 8)) {
+		t.Fatal("identical parallel runs produced different artifact bytes")
+	}
+	if !bytes.Equal(first, serializeParallel(t, 1)) {
+		t.Fatal("workers=8 artifact differs from workers=1 artifact")
+	}
+}

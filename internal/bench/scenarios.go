@@ -127,6 +127,52 @@ func TrainCommCNNScenario(users, epochs int) Scenario {
 	}
 }
 
+// GBDTTrainScenario measures Phase II GBDT training alone at a given
+// split-finding worker count. Phase I runs once in Prepare; each
+// repetition trains a fresh boosted ensemble on the same labeled
+// communities. The histogram trainer contracts bit-identical trees for
+// every worker count, so the workers axis is a pure wall-clock sweep.
+func GBDTTrainScenario(users, workers int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("gbdt/train/n=%d/workers=%d", users, workers),
+		Params: map[string]string{
+			"users":      fmt.Sprint(users),
+			"workers":    fmt.Sprint(workers),
+			"classifier": "xgb",
+			"detector":   "labelprop",
+		},
+		Prepare: func() (RunFunc, error) {
+			ds, err := Dataset(users, 1.0, 42)
+			if err != nil {
+				return nil, err
+			}
+			egos := core.Divide(ds, core.DivisionConfig{Detector: core.DetectorLabelProp, Seed: 1})
+			var comms []*core.LocalCommunity
+			var labels []social.Label
+			for _, er := range egos {
+				for _, c := range er.Comms {
+					if l := c.TruthLabel(); l.Valid() {
+						comms = append(comms, c)
+						labels = append(labels, l)
+					}
+				}
+			}
+			if len(comms) == 0 {
+				return nil, fmt.Errorf("bench: fixture has no labeled communities")
+			}
+			return func(m *M) error {
+				cl := &core.XGBClassifier{Seed: 1, Workers: workers}
+				t0 := time.Now()
+				if err := cl.Fit(ds, comms, labels); err != nil {
+					return err
+				}
+				m.RecordPhase("training", time.Since(t0))
+				return nil
+			}, nil
+		},
+	}
+}
+
 // CombineScenario measures Phase III alone: logistic-regression training
 // on the labeled edge features plus prediction over every edge, on a
 // pipeline result whose Phases I+II were computed once in Prepare. This

@@ -30,6 +30,14 @@ var suites = map[string]func() []Scenario{
 			ArtifactLoadScenario(100),
 			ServeColdStartScenario(100),
 			PipelineScenario(1000, 1.0),
+			// The parallel-GBDT acceptance rows: training at n=10000 is
+			// the ≥4× speedup gate for the histogram trainer, and the
+			// workers sweep tracks the fan-out's marginal value (trees
+			// are bit-identical across the sweep by construction).
+			PipelineScenario(10000, 1.0),
+			GBDTTrainScenario(1000, 1),
+			GBDTTrainScenario(1000, 4),
+			GBDTTrainScenario(1000, 8),
 			IncrementalApplyScenario(1000),
 			IncrementalApplySeededScenario(1000),
 			WALAppendScenario(1000, wal.SyncAlways),

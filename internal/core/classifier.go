@@ -146,6 +146,10 @@ type XGBClassifier struct {
 	Config gbdt.Config
 	// Seed overrides Config.Seed when non-zero.
 	Seed int64
+	// Workers overrides Config.Workers when non-zero. Trees are
+	// bit-identical for every worker count (see internal/gbdt), so this
+	// is a pure speed knob that never perturbs seeded replay.
+	Workers int
 
 	model *gbdt.Model
 }
@@ -168,6 +172,9 @@ func (x *XGBClassifier) Fit(ds *social.Dataset, comms []*LocalCommunity, labels 
 	cfg.Classes = social.NumLabels
 	if x.Seed != 0 {
 		cfg.Seed = x.Seed
+	}
+	if x.Workers != 0 {
+		cfg.Workers = x.Workers
 	}
 	model, err := gbdt.Train(X, y, cfg)
 	if err != nil {

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// parallelLocalConfig is localConfig with the GBDT trainer fanned out to
+// 8 workers — the histogram trainer guarantees bit-identical trees for
+// any worker count, so everything downstream (frozen replay, the 1e-12
+// incremental oracle) must behave exactly as in the serial configuration.
+func parallelLocalConfig(d DetectorKind) Config {
+	return Config{
+		Division:   DivisionConfig{Detector: d, Seed: 1},
+		Classifier: &XGBClassifier{Seed: 1, Workers: 8},
+		Seed:       1,
+	}
+}
+
+// TestIncrementalOracleParallelTrainer: the incremental path's 1e-12
+// equivalence oracle must hold with the parallel GBDT trainer across all
+// three local detectors — a fast-but-nondeterministic trainer would fail
+// here first.
+func TestIncrementalOracleParallelTrainer(t *testing.T) {
+	for _, d := range localDetectors {
+		t.Run(d.String(), func(t *testing.T) {
+			p, ds, res := incrementalFixture(t, parallelLocalConfig(d))
+			rng := rand.New(rand.NewSource(47))
+			for trial := 0; trial < 2; trial++ {
+				batch := randomBatch(rng, ds.G, 6)
+				if err := VerifyIncremental(p, ds, res, batch, 1e-12); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTrainerMatchesSerialRun: full pipeline runs with workers=1
+// and workers=8 must produce identical predictions — the end-to-end form
+// of the gbdt package's tree bit-identity property.
+func TestParallelTrainerMatchesSerialRun(t *testing.T) {
+	_, _, serial := incrementalFixture(t, localConfig(DetectorClauset))
+	_, _, parallel := incrementalFixture(t, parallelLocalConfig(DetectorClauset))
+	if len(serial.Probabilities) != len(parallel.Probabilities) {
+		t.Fatalf("prediction counts differ: %d vs %d", len(serial.Probabilities), len(parallel.Probabilities))
+	}
+	for k, sp := range serial.Probabilities {
+		pp, ok := parallel.Probabilities[k]
+		if !ok {
+			t.Fatalf("edge %v missing from parallel run", k)
+		}
+		for c := range sp {
+			if sp[c] != pp[c] {
+				t.Fatalf("edge %v class %d: serial %v vs parallel %v", k, c, sp[c], pp[c])
+			}
+		}
+	}
+}

@@ -47,3 +47,25 @@ func BenchmarkLeafValues(b *testing.B) {
 		m.LeafValues(X[i%len(X)])
 	}
 }
+
+// BenchmarkTrainReference500x26 is the retained exact trainer on the
+// same workload as BenchmarkTrain500x26 — the pair is the speedup
+// receipt for the histogram rewrite.
+func BenchmarkTrainReference500x26(b *testing.B) {
+	X, y := blobs3(500, 1)
+	wide := make([][]float64, len(X))
+	for i, row := range X {
+		w := make([]float64, 26)
+		for j := range w {
+			w[j] = row[j%3] * float64(j+1)
+		}
+		wide[i] = w
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainReference(wide, y, Config{Classes: 3, Rounds: 25, MaxDepth: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// modelJSON serializes a model for bitwise tree comparison: JSON encodes
+// float64 exactly (shortest round-trip form), so equal bytes means equal
+// trees down to the last bit.
+func modelJSON(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func randomFixture(rng *rand.Rand, n, nf, classes int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = rng.Intn(classes)
+	}
+	return X, y
+}
+
+// TestHistogramMatchesReferenceExactly pins the strongest form of the
+// oracle: with ≤256 distinct values per feature the histogram candidate
+// set equals the exact path's, so the trees must be identical — compared
+// as serialized bytes, not within a tolerance.
+func TestHistogramMatchesReferenceExactly(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		gen  func(rng *rand.Rand) ([][]float64, []int)
+	}{
+		{
+			name: "random_small",
+			cfg:  Config{Classes: 3, Rounds: 8, MaxDepth: 4, Seed: 7},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				return randomFixture(rng, 120, 6, 3)
+			},
+		},
+		{
+			name: "subsampled",
+			cfg:  Config{Classes: 3, Rounds: 6, MaxDepth: 3, Subsample: 0.7, ColSample: 0.6, Seed: 11},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				return randomFixture(rng, 150, 8, 3)
+			},
+		},
+		{
+			name: "all_equal_feature",
+			cfg:  Config{Classes: 2, Rounds: 4, Seed: 3},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				X, y := randomFixture(rng, 60, 4, 2)
+				for i := range X {
+					X[i][1] = 3.5 // constant column must never split
+				}
+				return X, y
+			},
+		},
+		{
+			name: "single_sample",
+			cfg:  Config{Classes: 2, Rounds: 3, Seed: 1},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				return [][]float64{{1, 2, 3}}, []int{1}
+			},
+		},
+		{
+			name: "all_one_class",
+			cfg:  Config{Classes: 3, Rounds: 4, Seed: 5},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				X, y := randomFixture(rng, 80, 5, 3)
+				for i := range y {
+					y[i] = 2
+				}
+				return X, y
+			},
+		},
+		{
+			name: "few_distinct_values",
+			cfg:  Config{Classes: 2, Rounds: 5, MaxDepth: 5, Seed: 9},
+			gen: func(rng *rand.Rand) ([][]float64, []int) {
+				X, y := randomFixture(rng, 200, 4, 2)
+				for i := range X {
+					for j := range X[i] {
+						X[i][j] = math.Floor(X[i][j]*2) / 2 // heavy ties
+					}
+				}
+				return X, y
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			X, y := tc.gen(rng)
+			ref, err := trainReference(clone2D(X), y, tc.cfg)
+			if err != nil {
+				t.Fatalf("reference train: %v", err)
+			}
+			got, err := Train(clone2D(X), y, tc.cfg)
+			if err != nil {
+				t.Fatalf("histogram train: %v", err)
+			}
+			refJS, gotJS := modelJSON(t, ref), modelJSON(t, got)
+			if !bytes.Equal(refJS, gotJS) {
+				t.Fatalf("histogram trees differ from exact reference\nref: %s\ngot: %s",
+					firstDiff(refJS, gotJS), firstDiff(gotJS, refJS))
+			}
+		})
+	}
+}
+
+// TestHistogramWideFeatures covers the lossy regime (>256 distinct
+// values per feature), where trees may legitimately differ from the
+// exact path. The contract there is model quality, not bit-equality:
+// the binned model's argmax class must agree with the exact model's on
+// the overwhelming majority of training points.
+func TestHistogramWideFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Learnable blobs with 2000 distinct values per column (> 256 bins).
+	centers := [][]float64{{0, 0, 0, 0, 0}, {4, 4, 0, -4, 0}, {-4, 0, 4, 4, -4}}
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(3)
+		y[i] = c
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()
+		}
+		X[i] = row
+	}
+	cfg := Config{Classes: 3, Rounds: 6, MaxDepth: 4, Seed: 13}
+	ref, err := trainReference(clone2D(X), y, cfg)
+	if err != nil {
+		t.Fatalf("reference train: %v", err)
+	}
+	got, err := Train(clone2D(X), y, cfg)
+	if err != nil {
+		t.Fatalf("histogram train: %v", err)
+	}
+	agree := 0
+	for i := range X {
+		if ref.Predict(X[i]) == got.Predict(X[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(X)); frac < 0.9 {
+		t.Fatalf("binned model agrees with exact on only %.1f%% of training points", frac*100)
+	}
+}
+
+// TestPredictionAgreement asserts the ≤1e-12 agreement contract of the
+// incremental oracle on random fixtures in the lossless regime, across
+// every inference entry point.
+func TestPredictionAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	X, y := randomFixture(rng, 200, 7, 3)
+	cfg := Config{Classes: 3, Rounds: 10, MaxDepth: 4, Seed: 21}
+	ref, err := trainReference(clone2D(X), y, cfg)
+	if err != nil {
+		t.Fatalf("reference train: %v", err)
+	}
+	got, err := Train(clone2D(X), y, cfg)
+	if err != nil {
+		t.Fatalf("histogram train: %v", err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := make([]float64, 7)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		rm, gm := ref.Margins(x), got.Margins(x)
+		for c := range rm {
+			if math.Abs(rm[c]-gm[c]) > 1e-12 {
+				t.Fatalf("margin[%d] diverges: ref=%v got=%v", c, rm[c], gm[c])
+			}
+		}
+		rl, gl := ref.LeafValues(x), got.LeafValues(x)
+		for i := range rl {
+			if math.Abs(rl[i]-gl[i]) > 1e-12 {
+				t.Fatalf("leaf value %d diverges: ref=%v got=%v", i, rl[i], gl[i])
+			}
+		}
+		ri, gi := ref.LeafIndices(x), got.LeafIndices(x)
+		for i := range ri {
+			if ri[i] != gi[i] {
+				t.Fatalf("leaf index %d diverges: ref=%v got=%v", i, ri[i], gi[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCountBitIdentity is the determinism property test: any
+// worker count must produce byte-identical models. Run under -race and
+// -shuffle=on in CI.
+func TestWorkerCountBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Large enough that nodes exceed parallelSplitMinRows and actually
+	// exercise the fan-out, plus >256 distinct values to cover the lossy
+	// binning path.
+	X, y := randomFixture(rng, 1200, 6, 3)
+	base := Config{Classes: 3, Rounds: 4, MaxDepth: 5, Subsample: 0.9, Seed: 17}
+	var want []byte
+	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		cfg := base
+		cfg.Workers = workers
+		m, err := Train(clone2D(X), y, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		js := modelJSON(t, m)
+		if want == nil {
+			want = js
+			continue
+		}
+		if !bytes.Equal(want, js) {
+			t.Fatalf("workers=%d produced different trees than workers=1", workers)
+		}
+	}
+}
+
+// TestWorkersExcludedFromSerialization pins that Workers is a pure speed
+// knob: it must not leak into the serialized model, or artifacts trained
+// with different worker counts would not be byte-identical.
+func TestWorkersExcludedFromSerialization(t *testing.T) {
+	js, err := json.Marshal(Config{Classes: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(js, []byte("Workers")) {
+		t.Fatalf("Workers serialized in Config: %s", js)
+	}
+}
+
+// TestBinEdgesBounds sanity-checks the lossy binning path directly.
+func TestBinEdgesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{vals[i]}
+	}
+	b := buildBins(X, 1)
+	if b.counts[0] > maxBins {
+		t.Fatalf("bin count %d exceeds maxBins", b.counts[0])
+	}
+	if b.counts[0] < maxBins/2 {
+		t.Fatalf("suspiciously few bins (%d) for %d distinct values", b.counts[0], n)
+	}
+	// Every row's code must land in a bin whose [lo, hi] range contains it.
+	for i, row := range X {
+		c := b.codes[0][i]
+		if row[0] < b.lo[0][c] || row[0] > b.hi[0][c] {
+			t.Fatalf("row %d value %v coded into bin %d [%v, %v]", i, row[0], c, b.lo[0][c], b.hi[0][c])
+		}
+	}
+}
+
+func clone2D(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// firstDiff renders the neighborhood of the first differing byte.
+func firstDiff(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 40
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return string(a[lo:hi])
+}

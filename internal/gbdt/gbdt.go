@@ -1,19 +1,28 @@
 // Package gbdt implements an XGBoost-style gradient boosted decision tree
-// learner (Chen & Guestrin 2016): second-order gradient statistics, exact
-// greedy split finding with the regularized gain formula, shrinkage, and
-// row/column subsampling. Multi-class problems use the softmax objective
-// with one regression tree per class per round.
+// learner (Chen & Guestrin 2016): second-order gradient statistics,
+// histogram-binned greedy split finding with the regularized gain formula,
+// shrinkage, and row/column subsampling. Multi-class problems use the
+// softmax objective with one regression tree per class per round.
+//
+// Split finding runs over per-feature histograms (≤256 bins, quantized
+// once before boosting — see histogram.go) and fans out across a pool of
+// persistent workers with per-worker scratch. The trainer is deterministic
+// by construction: Config.Workers changes wall-clock time, never the
+// trees. The exact sort-based enumeration is retained in
+// split_reference.go as the equivalence oracle.
 //
 // Besides class probabilities, the model exposes the per-tree leaf values
 // for an input — the "community embedding" LoCEC-XGB feeds to its edge
 // classifier, following the paper's reference to He et al. (ADKDD 2014).
+// Inference walks a flattened structure-of-arrays forest (flat.go).
 package gbdt
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"slices"
+	"runtime"
+	"sync/atomic"
 
 	"locec/internal/tensor"
 )
@@ -30,6 +39,13 @@ type Config struct {
 	ColSample      float64 // column subsample ratio per tree (default 1)
 	Classes        int     // number of classes (required, >= 2)
 	Seed           int64   // drives subsampling
+
+	// Workers bounds split-finding parallelism (0 = GOMAXPROCS). Any
+	// value produces bit-identical trees — per-feature histograms are
+	// each built by one worker in row order and candidates merge in
+	// column order — so it is a pure speed knob and is deliberately
+	// excluded from the serialized model.
+	Workers int `json:"-"`
 }
 
 func (c *Config) defaults() {
@@ -89,7 +105,8 @@ func (t *Tree) predict(x []float64) (float64, int) {
 type Model struct {
 	cfg      Config
 	features int
-	trees    [][]*Tree // [round][class]
+	trees    [][]*Tree // [round][class] — the persisted form
+	forest   *Forest   // flattened SoA twin of trees, used for inference
 }
 
 // NumFeatures returns the feature dimensionality seen at training time.
@@ -104,25 +121,35 @@ func (m *Model) NumTrees() int {
 	return n
 }
 
-// Train fits the ensemble to feature rows X and labels y in [0, Classes).
-func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
-	cfg.defaults()
+// validateTrainingSet shares the input checks between the histogram
+// trainer and the retained reference trainer.
+func validateTrainingSet(X [][]float64, y []int, cfg Config) (int, error) {
 	if cfg.Classes < 2 {
-		return nil, fmt.Errorf("gbdt: Classes must be >= 2, got %d", cfg.Classes)
+		return 0, fmt.Errorf("gbdt: Classes must be >= 2, got %d", cfg.Classes)
 	}
 	if len(X) == 0 || len(X) != len(y) {
-		return nil, fmt.Errorf("gbdt: bad training set (%d rows, %d labels)", len(X), len(y))
+		return 0, fmt.Errorf("gbdt: bad training set (%d rows, %d labels)", len(X), len(y))
 	}
 	nf := len(X[0])
 	for i, row := range X {
 		if len(row) != nf {
-			return nil, fmt.Errorf("gbdt: row %d has %d features, want %d", i, len(row), nf)
+			return 0, fmt.Errorf("gbdt: row %d has %d features, want %d", i, len(row), nf)
 		}
 	}
 	for i, l := range y {
 		if l < 0 || l >= cfg.Classes {
-			return nil, fmt.Errorf("gbdt: label %d out of range at row %d", l, i)
+			return 0, fmt.Errorf("gbdt: label %d out of range at row %d", l, i)
 		}
+	}
+	return nf, nil
+}
+
+// Train fits the ensemble to feature rows X and labels y in [0, Classes).
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	cfg.defaults()
+	nf, err := validateTrainingSet(X, y, cfg)
+	if err != nil {
+		return nil, err
 	}
 	n := len(X)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -138,12 +165,8 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 		hess[c] = make([]float64, n)
 	}
 	m := &Model{cfg: cfg, features: nf}
-	// Split-finding scratch shared by every tree: the exact greedy search
-	// re-sorts (value,row) pairs at every node, which used to dominate both
-	// the CPU profile (sort.Slice reflection) and the allocation count
-	// (fresh vals/left/right slices per node). The builder now owns the
-	// buffers and partitions rows in place.
-	b := &builder{X: X, cfg: cfg}
+	tr := newTrainer(X, cfg, nf)
+	defer tr.close()
 	rows := make([]int, 0, n)
 	colBuf := make([]int, 0, nf)
 	for round := 0; round < cfg.Rounds; round++ {
@@ -159,7 +182,9 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 				hess[c][i] = math.Max(probs[c]*(1-probs[c]), 1e-12)
 			}
 		}
-		// Row subsample (shared across the round's class trees).
+		// Row subsample (shared across the round's class trees). The rng
+		// consumption order matches trainReference exactly, so the two
+		// paths see identical samples.
 		rows = rows[:0]
 		for i := 0; i < n; i++ {
 			if cfg.Subsample >= 1 || rng.Float64() < cfg.Subsample {
@@ -180,157 +205,288 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			colBuf = append(colBuf, rng.Intn(nf))
 		}
 		roundTrees := make([]*Tree, cfg.Classes)
+		full := len(rows) == n
 		for c := 0; c < cfg.Classes; c++ {
-			t := b.buildTree(grad[c], hess[c], rows, colBuf)
+			// The builder updates margins[i][c] in place as leaves are
+			// created: a sampled row's leaf assignment during the
+			// partition IS the leaf prediction would route it to, so the
+			// per-round full-predict pass of the exact path collapses to
+			// O(1) per sampled row.
+			t := tr.buildTree(grad[c], hess[c], rows, colBuf, margins, c)
 			roundTrees[c] = t
-			for i := 0; i < n; i++ {
-				v, _ := t.predict(X[i])
-				margins[i][c] += v
+			if !full {
+				// Out-of-sample rows still need a tree walk.
+				for _, i := range tr.outOfSample(rows, n) {
+					v, _ := t.predict(X[i])
+					margins[i][c] += v
+				}
 			}
 		}
 		m.trees = append(m.trees, roundTrees)
 	}
+	m.forest = flatten(m.trees)
 	return m, nil
 }
 
-// builder carries the training set plus reusable split-finding scratch.
-// Only nodes is (re)allocated per tree — it is retained inside the Tree.
-type builder struct {
-	X     [][]float64
-	grad  []float64
-	hess  []float64
-	cols  []int
-	cfg   Config
-	nodes []node
-	vals  []fv  // per-node (value,row) sort scratch
-	part  []int // stable-partition scratch
+// trainer owns the quantized training matrix plus the split-finding
+// worker pool and all reusable scratch. One trainer serves every tree of
+// a Train call; only the node slice is (re)allocated per tree, since it
+// is retained inside the returned Tree.
+type trainer struct {
+	X       [][]float64
+	cfg     Config
+	bins    *binning
+	workers int
+
+	// Per-tree state installed by buildTree.
+	grad, hess []float64
+	cols       []int
+	margins    [][]float64 // leaf-time margin updates (class cls)
+	cls        int
+	nodes      []node
+	part       []int // stable-partition scratch
+	oos        []int // out-of-sample row scratch
+	inTree     []bool
+
+	// Split fan-out: workers claim feature slots from next and write
+	// results into cands — fixed output placement keeps the merge
+	// deterministic regardless of scheduling.
+	hists  []*histScratch
+	cands  []splitCand
+	rows   []int
+	nodeG  float64
+	nodeH  float64
+	next   atomic.Int64
+	work   []chan struct{}
+	done   chan struct{}
+	closed bool
 }
 
-// fv pairs one sample's feature value with its row index for split sorting.
-type fv struct {
-	v   float64
-	row int
+// parallelSplitMinRows gates the per-node fan-out: below this row count
+// the channel round-trip costs more than the histogram work it spreads.
+// Serial and fanned-out nodes compute identical candidates, so the gate
+// never affects the trees.
+const parallelSplitMinRows = 512
+
+func newTrainer(X [][]float64, cfg Config, nf int) *trainer {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := &trainer{
+		X:       X,
+		cfg:     cfg,
+		bins:    buildBins(X, nf),
+		workers: workers,
+		part:    make([]int, 0, len(X)),
+		cands:   make([]splitCand, nf),
+		hists:   make([]*histScratch, workers),
+	}
+	for w := range t.hists {
+		t.hists[w] = &histScratch{}
+	}
+	if workers > 1 {
+		t.done = make(chan struct{}, workers)
+		t.work = make([]chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			t.work[w] = make(chan struct{}, 1)
+			go t.workerLoop(w)
+		}
+	}
+	return t
 }
 
-// buildTree grows one regression tree over rows. rows is permuted in place
-// by the recursive partitioning.
-func (b *builder) buildTree(grad, hess []float64, rows, cols []int) *Tree {
-	b.grad, b.hess, b.cols = grad, hess, cols
-	b.nodes = nil // retained by the returned Tree
-	if cap(b.vals) < len(rows) {
-		b.vals = make([]fv, 0, len(rows))
+// close stops the persistent workers; the trainer must not be used again.
+func (t *trainer) close() {
+	if t.closed {
+		return
 	}
-	if cap(b.part) < len(rows) {
-		b.part = make([]int, 0, len(rows))
+	t.closed = true
+	for _, ch := range t.work {
+		close(ch)
 	}
-	b.split(rows, 0)
-	return &Tree{Nodes: b.nodes}
+}
+
+// workerLoop claims feature slots of the current node until none remain,
+// then acks. Each slot's histogram is built solely by the claiming worker
+// (row order fixed), so results do not depend on the claim interleaving.
+func (t *trainer) workerLoop(w int) {
+	for range t.work[w] {
+		t.scanFeatures(w)
+		t.done <- struct{}{}
+	}
+}
+
+// scanFeatures drains the shared feature-slot counter for worker w.
+func (t *trainer) scanFeatures(w int) {
+	for {
+		ci := int(t.next.Add(1)) - 1
+		if ci >= len(t.cols) {
+			return
+		}
+		t.cands[ci] = t.featureCandidate(w, t.cols[ci])
+	}
+}
+
+// featureCandidate builds feature f's histogram over the current node's
+// rows and scans it for the best split.
+func (t *trainer) featureCandidate(w, f int) splitCand {
+	nb := t.bins.counts[f]
+	s := t.hists[w]
+	s.accumulate(t.bins.codes[f], t.rows, t.grad, t.hess, nb)
+	return scanHistogram(s.g[:nb], s.h[:nb], s.c[:nb], t.bins.lo[f], t.bins.hi[f],
+		t.nodeG, t.nodeH, t.cfg.Lambda, t.cfg.Gamma, t.cfg.MinChildWeight)
+}
+
+// buildTree grows one regression tree over rows, adding each sampled
+// row's leaf value to margins[row][cls] as leaves are created. rows is
+// permuted in place by the recursive partitioning.
+func (t *trainer) buildTree(grad, hess []float64, rows, cols []int, margins [][]float64, cls int) *Tree {
+	t.grad, t.hess, t.cols = grad, hess, cols
+	t.margins, t.cls = margins, cls
+	t.nodes = nil // retained by the returned Tree
+	t.split(rows, 0)
+	return &Tree{Nodes: t.nodes}
 }
 
 // split grows the subtree over the given sample rows and returns its node
 // index. rows is reordered in place (stable left|right partition) before
 // recursing, so child calls operate on subslices — no per-node allocation.
-func (b *builder) split(rows []int, depth int) int {
+// The candidate search is the histogram scan of histogram.go, fanned out
+// across the worker pool for wide nodes.
+func (t *trainer) split(rows []int, depth int) int {
 	var G, H float64
 	for _, i := range rows {
-		G += b.grad[i]
-		H += b.hess[i]
+		G += t.grad[i]
+		H += t.hess[i]
 	}
-	leafValue := -G / (H + b.cfg.Lambda) * b.cfg.LearningRate
-	idx := len(b.nodes)
-	b.nodes = append(b.nodes, node{Feature: -1, Value: leafValue})
-	if depth >= b.cfg.MaxDepth || len(rows) < 2 {
+	leafValue := -G / (H + t.cfg.Lambda) * t.cfg.LearningRate
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{Feature: -1, Value: leafValue})
+	if depth >= t.cfg.MaxDepth || len(rows) < 2 {
+		t.settleLeaf(rows, leafValue)
 		return idx
 	}
-	bestGain := b.cfg.Gamma
-	bestFeat := -1
-	bestThresh := 0.0
-	parentScore := G * G / (H + b.cfg.Lambda)
-	for _, f := range b.cols {
-		vals := b.vals[:0]
-		for _, i := range rows {
-			vals = append(vals, fv{b.X[i][f], i})
-		}
-		// slices.SortFunc compiles to a monomorphic pdqsort — unlike
-		// sort.Slice there is no reflection Swapper and no closure state
-		// allocated per call. Ties may land in any order; split decisions
-		// only happen at distinct-value boundaries, so the result is the
-		// same tree.
-		slices.SortFunc(vals, func(a, c fv) int {
-			switch {
-			case a.v < c.v:
-				return -1
-			case a.v > c.v:
-				return 1
-			default:
-				return 0
-			}
-		})
-		var GL, HL float64
-		for k := 0; k < len(vals)-1; k++ {
-			GL += b.grad[vals[k].row]
-			HL += b.hess[vals[k].row]
-			if vals[k].v == vals[k+1].v {
-				continue // cannot split between equal values
-			}
-			GR, HR := G-GL, H-HL
-			if HL < b.cfg.MinChildWeight || HR < b.cfg.MinChildWeight {
-				continue
-			}
-			gain := 0.5 * (GL*GL/(HL+b.cfg.Lambda) + GR*GR/(HR+b.cfg.Lambda) - parentScore)
-			if gain > bestGain+1e-12 {
-				bestGain = gain
-				bestFeat = f
-				bestThresh = (vals[k].v + vals[k+1].v) / 2
-			}
-		}
-	}
-	if bestFeat < 0 {
+	bestFeat, bestThresh, ok := t.findBestSplit(rows, G, H)
+	if !ok {
+		t.settleLeaf(rows, leafValue)
 		return idx
 	}
 	// Stable partition rows into left|right around the threshold, keeping
 	// the original relative order on both sides (identical trees to the
-	// old append-based construction).
-	part := b.part[:0]
+	// reference construction).
+	part := t.part[:0]
 	for _, i := range rows {
-		if b.X[i][bestFeat] < bestThresh {
+		if t.X[i][bestFeat] < bestThresh {
 			part = append(part, i)
 		}
 	}
 	nl := len(part)
 	if nl == 0 || nl == len(rows) {
+		t.settleLeaf(rows, leafValue)
 		return idx
 	}
 	for _, i := range rows {
-		if !(b.X[i][bestFeat] < bestThresh) {
+		if !(t.X[i][bestFeat] < bestThresh) {
 			part = append(part, i)
 		}
 	}
 	copy(rows, part)
-	li := b.split(rows[:nl], depth+1)
-	ri := b.split(rows[nl:], depth+1)
-	b.nodes[idx] = node{Feature: bestFeat, Threshold: bestThresh, Left: li, Right: ri}
+	li := t.split(rows[:nl], depth+1)
+	ri := t.split(rows[nl:], depth+1)
+	t.nodes[idx] = node{Feature: bestFeat, Threshold: bestThresh, Left: li, Right: ri}
 	return idx
+}
+
+// settleLeaf applies a finished leaf's value to the sampled rows' margins.
+func (t *trainer) settleLeaf(rows []int, leafValue float64) {
+	cls := t.cls
+	for _, i := range rows {
+		t.margins[i][cls] += leafValue
+	}
+}
+
+// findBestSplit scans every candidate column and merges the per-feature
+// winners serially in column order under the strictly-greater-by-1e-12
+// rule, so the chosen split is independent of both worker count and
+// scheduling.
+func (t *trainer) findBestSplit(rows []int, G, H float64) (feat int, thresh float64, ok bool) {
+	t.rows, t.nodeG, t.nodeH = rows, G, H
+	cands := t.cands[:len(t.cols)]
+	if t.workers > 1 && len(rows) >= parallelSplitMinRows && len(t.cols) > 1 {
+		t.next.Store(0)
+		for _, ch := range t.work {
+			ch <- struct{}{}
+		}
+		for range t.work {
+			<-t.done
+		}
+	} else {
+		for ci, f := range t.cols {
+			cands[ci] = t.featureCandidate(0, f)
+		}
+	}
+	bestGain := t.cfg.Gamma
+	feat = -1
+	for ci, c := range cands {
+		if c.ok && c.gain > bestGain+1e-12 {
+			bestGain = c.gain
+			feat = t.cols[ci]
+			thresh = c.thresh
+		}
+	}
+	return feat, thresh, feat >= 0
+}
+
+// outOfSample returns the rows NOT in the sorted-ascending sample set
+// rows (callers use it only when subsampling dropped rows).
+func (t *trainer) outOfSample(rows []int, n int) []int {
+	if cap(t.inTree) < n {
+		t.inTree = make([]bool, n)
+	}
+	mask := t.inTree[:n]
+	for i := range mask {
+		mask[i] = false
+	}
+	for _, i := range rows {
+		mask[i] = true
+	}
+	oos := t.oos[:0]
+	for i := 0; i < n; i++ {
+		if !mask[i] {
+			oos = append(oos, i)
+		}
+	}
+	t.oos = oos
+	return oos
 }
 
 // Margins returns the raw per-class boosted scores for x.
 func (m *Model) Margins(x []float64) []float64 {
 	out := make([]float64, m.cfg.Classes)
-	for _, round := range m.trees {
-		for c, t := range round {
-			v, _ := t.predict(x)
-			out[c] += v
-		}
-	}
+	m.MarginsInto(x, out)
 	return out
+}
+
+// MarginsInto writes the raw per-class boosted scores for x into dst
+// (length Classes) without allocating.
+func (m *Model) MarginsInto(x []float64, dst []float64) {
+	m.forest.MarginsInto(x, dst[:m.cfg.Classes])
 }
 
 // PredictProba returns softmax class probabilities for x.
 func (m *Model) PredictProba(x []float64) []float64 {
-	margins := m.Margins(x)
-	out := make([]float64, len(margins))
-	tensor.Softmax(margins, out)
+	out := make([]float64, m.cfg.Classes)
+	m.PredictProbaInto(x, out)
 	return out
+}
+
+// PredictProbaInto writes softmax class probabilities for x into dst
+// (length Classes). dst doubles as the margin scratch, so steady-state
+// inference performs no heap allocation.
+func (m *Model) PredictProbaInto(x []float64, dst []float64) {
+	m.MarginsInto(x, dst)
+	tensor.Softmax(dst, dst)
 }
 
 // Predict returns the argmax class for x.
@@ -342,24 +498,23 @@ func (m *Model) Predict(x []float64) int {
 // tree (rounds × classes values, in round-major order). This is the
 // GBDT-as-feature-transform embedding of He et al. used by LoCEC-XGB.
 func (m *Model) LeafValues(x []float64) []float64 {
-	out := make([]float64, 0, len(m.trees)*m.cfg.Classes)
-	for _, round := range m.trees {
-		for _, t := range round {
-			v, _ := t.predict(x)
-			out = append(out, v)
-		}
-	}
+	out := make([]float64, m.forest.NumTrees())
+	m.forest.LeafValuesInto(x, out)
 	return out
+}
+
+// LeafValuesInto writes each tree's leaf value for x into dst (length
+// NumTrees) without allocating.
+func (m *Model) LeafValuesInto(x []float64, dst []float64) {
+	m.forest.LeafValuesInto(x, dst)
 }
 
 // LeafIndices returns the leaf node index reached by x in every tree.
 func (m *Model) LeafIndices(x []float64) []int {
-	out := make([]int, 0, len(m.trees)*m.cfg.Classes)
-	for _, round := range m.trees {
-		for _, t := range round {
-			_, i := t.predict(x)
-			out = append(out, i)
-		}
+	out := make([]int, 0, m.forest.NumTrees())
+	for ti := range m.forest.Roots {
+		_, i := m.forest.walk(ti, x)
+		out = append(out, int(i))
 	}
 	return out
 }

@@ -52,6 +52,7 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.trees = append(m.trees, row)
 	}
+	m.forest = flatten(m.trees)
 	return m, nil
 }
 

@@ -46,6 +46,9 @@ type Config struct {
 	// Shards is the worker-pool width for the sharded division (and the
 	// core.DivisionConfig.Workers value for Phase II); 0 = GOMAXPROCS.
 	Shards int
+	// GBDTWorkers bounds GBDT split-finding parallelism for XGB retrains
+	// (0 = Shards). Trees are bit-identical for every worker count.
+	GBDTWorkers int
 	// Detector picks the Phase I algorithm ("gn" default, "labelprop",
 	// "louvain", or a seed-grown local detector "clauset", "lshell",
 	// "lemon") and GNPatience bounds Girvan–Newman.
@@ -590,9 +593,14 @@ func (s *Server) coreConfig(seed int64) core.Config {
 	divCfg.Detector, _ = core.ParseDetector(s.cfg.Detector)
 	coreCfg := core.Config{Division: divCfg, Seed: seed}
 	if s.cfg.Variant == "xgb" {
+		gw := s.cfg.GBDTWorkers
+		if gw == 0 {
+			gw = s.cfg.Shards
+		}
 		coreCfg.Classifier = &core.XGBClassifier{
-			Config: gbdt.Config{Rounds: s.cfg.Rounds, MaxDepth: s.cfg.MaxDepth, Seed: seed},
-			Seed:   seed,
+			Workers: gw,
+			Config:  gbdt.Config{Rounds: s.cfg.Rounds, MaxDepth: s.cfg.MaxDepth, Seed: seed},
+			Seed:    seed,
 		}
 	} else {
 		coreCfg.Classifier = &core.CNNClassifier{

@@ -1,12 +1,26 @@
 package tensor
 
+import (
+	"runtime"
+	"sync"
+)
+
 // Small cache-blocked GEMM kernels backing the im2col convolution path in
 // internal/nn. All operands are dense row-major float64 slices owned by the
 // caller; every kernel writes into a preallocated destination so the hot
-// path performs no allocation. Matrices here are tiny-to-small (tens to a
-// few hundred per side), so the kernels favor a simple i-k-j loop order —
-// the inner loop streams both the B row and the C row contiguously — with
-// one level of blocking to keep the working set in L1/L2 on larger shapes.
+// path performs no allocation on small shapes. Matrices here are
+// tiny-to-small (tens to a few hundred per side), so the kernels favor a
+// simple i-k-j loop order — the inner loop streams both the B row and the
+// C row contiguously — with one level of blocking to keep the working set
+// in L1/L2 on larger shapes.
+//
+// Above gemmParallelFlops of work each kernel fans its output rows across
+// GOMAXPROCS goroutines. The split is over OUTPUT rows only, so every dst
+// element is still accumulated by exactly one goroutine in exactly the
+// serial loop's order — parallel and serial results are bit-identical,
+// and worker count is a pure speed knob (the same contract internal/gbdt
+// makes for tree training). Small shapes (all of CommCNN's) stay on the
+// serial zero-allocation path.
 
 // gemm block sizes: bkK rows of B (each bkJ wide) fit comfortably in L1
 // alongside the C row being accumulated.
@@ -14,6 +28,48 @@ const (
 	gemmBlockK = 128
 	gemmBlockJ = 512
 )
+
+// gemmParallelFlops gates the fan-out: below ~1M multiply-adds the
+// goroutine spawn + WaitGroup costs more than it saves, and spawning
+// would break internal/nn's zero-allocation training contract.
+const gemmParallelFlops = 1 << 20
+
+// gemmWorkers picks the goroutine count for `rows` independent output
+// rows totalling `flops` work, returning 1 when the serial path should
+// run.
+func gemmWorkers(rows, flops int) int {
+	if flops < gemmParallelFlops {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows invokes fn(lo, hi) over `workers` contiguous row ranges
+// covering [0, rows) and waits for all of them.
+func parallelRows(rows, workers int, fn func(lo, hi int)) {
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul computes dst = a·b where a is m×k and b is k×n, both row-major.
 // dst must have length m*n; it is fully overwritten. b is consumed in its
@@ -34,11 +90,24 @@ func MatMulAcc(dst, a, b []float64, m, k, n int) {
 }
 
 func matMulAcc(dst, a, b []float64, m, k, n int) {
+	if w := gemmWorkers(m, m*k*n); w > 1 {
+		// Row blocks share only read-only operands; each dst row keeps the
+		// serial k0/kk accumulation order.
+		parallelRows(m, w, func(lo, hi int) {
+			matMulAccRows(dst, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matMulAccRows(dst, a, b, 0, m, k, n)
+}
+
+// matMulAccRows is the serial kernel restricted to dst rows [i0, i1).
+func matMulAccRows(dst, a, b []float64, i0, i1, k, n int) {
 	for k0 := 0; k0 < k; k0 += gemmBlockK {
 		k1 := min(k0+gemmBlockK, k)
 		for j0 := 0; j0 < n; j0 += gemmBlockJ {
 			j1 := min(j0+gemmBlockJ, n)
-			for i := 0; i < m; i++ {
+			for i := i0; i < i1; i++ {
 				ci := dst[i*n+j0 : i*n+j1]
 				ai := a[i*k : (i+1)*k]
 				for kk := k0; kk < k1; kk++ {
@@ -66,6 +135,29 @@ func MatMulATB(dst, a, b []float64, m, k, n int) {
 	for i := range dst[:k*n] {
 		dst[i] = 0
 	}
+	if w := gemmWorkers(k, m*k*n); w > 1 {
+		// Partition the OUTPUT rows kk. The serial i-outer loop touches
+		// each dst element in i-ascending order; this kk-outer form
+		// accumulates the same elements over the same ascending i, so the
+		// sums are bit-identical while no two goroutines share a dst row.
+		parallelRows(k, w, func(lo, hi int) {
+			for i := 0; i < m; i++ {
+				ai := a[i*k : (i+1)*k]
+				bi := b[i*n : (i+1)*n]
+				for kk := lo; kk < hi; kk++ {
+					av := ai[kk]
+					if av == 0 {
+						continue
+					}
+					ck := dst[kk*n : (kk+1)*n]
+					for j, bv := range bi {
+						ck[j] += av * bv
+					}
+				}
+			}
+		})
+		return
+	}
 	for i := 0; i < m; i++ {
 		ai := a[i*k : (i+1)*k]
 		bi := b[i*n : (i+1)*n]
@@ -89,7 +181,19 @@ func MatMulABTAcc(dst, a, b []float64, m, n, p int) {
 	if len(dst) < m*n || len(a) < m*p || len(b) < n*p {
 		panic("tensor: MatMulABTAcc dimension mismatch")
 	}
-	for i := 0; i < m; i++ {
+	if w := gemmWorkers(m, m*n*p); w > 1 {
+		parallelRows(m, w, func(lo, hi int) {
+			matMulABTAccRows(dst, a, b, lo, hi, n, p)
+		})
+		return
+	}
+	matMulABTAccRows(dst, a, b, 0, m, n, p)
+}
+
+// matMulABTAccRows is the dot-product kernel restricted to dst rows
+// [i0, i1); each element is one independent dot product.
+func matMulABTAccRows(dst, a, b []float64, i0, i1, n, p int) {
+	for i := i0; i < i1; i++ {
 		ai := a[i*p : (i+1)*p]
 		di := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {

@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// setProcs overrides GOMAXPROCS for one subtest so the parallel kernel
+// path is reachable even on a single-core runner, restoring it on exit.
+func setProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// parallelShapes all exceed gemmParallelFlops so gemmWorkers fans out
+// whenever GOMAXPROCS > 1.
+var parallelShapes = [][3]int{
+	{64, 128, 200},  // 1.6M flops, rows > workers
+	{3, 700, 600},   // fewer rows than workers
+	{257, 129, 513}, // odd sizes straddling both block constants
+}
+
+// TestParallelGemmBitIdentical pins the determinism contract: the
+// fanned-out kernels must produce results bit-identical (==, not within
+// a tolerance) to the serial path, because GBDT training, artifact
+// byte-stability, and the 1e-12 incremental oracle all sit downstream
+// of these kernels.
+func TestParallelGemmBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range parallelShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := randSlice(m*k, rng), randSlice(k*n, rng)
+		if m*k*n < gemmParallelFlops {
+			t.Fatalf("shape (%d,%d,%d) below parallel threshold — test is vacuous", m, k, n)
+		}
+
+		// MatMulATB operands: at is rows×k, bt is rows×n (shared row count).
+		rows := m
+		at := randSlice(rows*k, rng)
+		bt := randSlice(rows*n, rng)
+		// MatMulABTAcc operands: aa is m×p, bb is n2×p.
+		p, n2 := k, n
+		aa := randSlice(m*p, rng)
+		bb := randSlice(n2*p, rng)
+
+		setProcs(t, 1)
+		serialMul := make([]float64, m*n)
+		MatMul(serialMul, a, b, m, k, n)
+		serialATB := make([]float64, k*n)
+		MatMulATB(serialATB, at, bt, rows, k, n)
+		serialABT := make([]float64, m*n2)
+		MatMulABTAcc(serialABT, aa, bb, m, n2, p)
+
+		for _, procs := range []int{2, 4, 8} {
+			setProcs(t, procs)
+			gotMul := make([]float64, m*n)
+			MatMul(gotMul, a, b, m, k, n)
+			gotATB := make([]float64, k*n)
+			MatMulATB(gotATB, at, bt, rows, k, n)
+			gotABT := make([]float64, m*n2)
+			MatMulABTAcc(gotABT, aa, bb, m, n2, p)
+			for i := range gotMul {
+				if gotMul[i] != serialMul[i] {
+					t.Fatalf("MatMul (%d,%d,%d) procs=%d differs from serial at %d", m, k, n, procs, i)
+				}
+			}
+			for i := range gotATB {
+				if gotATB[i] != serialATB[i] {
+					t.Fatalf("MatMulATB (%d,%d,%d) procs=%d differs from serial at %d", rows, k, n, procs, i)
+				}
+			}
+			for i := range gotABT {
+				if gotABT[i] != serialABT[i] {
+					t.Fatalf("MatMulABTAcc (%d,%d,%d) procs=%d differs from serial at %d", m, n2, p, procs, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGemmMatchesNaive re-runs the correctness oracle on shapes
+// large enough to take the parallel path.
+func TestParallelGemmMatchesNaive(t *testing.T) {
+	setProcs(t, 4)
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 96, 150, 120
+	a, b := randSlice(m*k, rng), randSlice(k*n, rng)
+	want := naiveMul(a, b, m, k, n)
+	dst := make([]float64, m*n)
+	MatMul(dst, a, b, m, k, n)
+	if d := maxDiff(dst, want); d > 1e-11 {
+		t.Fatalf("parallel MatMul off by %g", d)
+	}
+}

@@ -13,7 +13,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -30,6 +32,9 @@ func main() {
 		fatal(err)
 	}
 	if err := writeArtifactCorpus("internal/artifact/testdata/fuzz/FuzzArtifact"); err != nil {
+		fatal(err)
+	}
+	if err := writeHistogramCorpus("internal/gbdt/testdata/fuzz/FuzzHistogramSplit"); err != nil {
 		fatal(err)
 	}
 }
@@ -144,6 +149,72 @@ func writeArtifactCorpus(dir string) error {
 		}
 	}
 	fmt.Printf("%s: %d entries (valid artifact: %d bytes)\n", dir, len(entries), len(data))
+	return nil
+}
+
+// writeHistogramCorpus seeds FuzzHistogramSplit with adversarial
+// histogram shapes matching the fuzzer's wire layout: a 40-byte header
+// (G, H, lambda, gamma, minChild as little-endian float64 bits), a bin
+// count byte, then 36 bytes per bin (grad, hess float64 · count uint32 ·
+// lo, hi float64).
+func writeHistogramCorpus(dir string) error {
+	f64 := func(v float64) []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		return b[:]
+	}
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	header := func(G, H, lambda, gamma, minChild float64) []byte {
+		var out []byte
+		for _, v := range []float64{G, H, lambda, gamma, minChild} {
+			out = append(out, f64(v)...)
+		}
+		return out
+	}
+	bin := func(g, h float64, c uint32, lo, hi float64) []byte {
+		var out []byte
+		out = append(out, f64(g)...)
+		out = append(out, f64(h)...)
+		out = append(out, u32(c)...)
+		out = append(out, f64(lo)...)
+		out = append(out, f64(hi)...)
+		return out
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	entries := map[string][]byte{
+		// A healthy two-bin split: opposite gradients, clean edges.
+		"seed-clean": append(append(append(header(0, 2, 1, 0, 1e-3), 2),
+			bin(3, 1, 4, 0, 0)...), bin(-3, 1, 4, 1, 1)...),
+		// NaN gradients must never surface as a split.
+		"seed-nan-grad": append(append(append(header(nan, 2, 1, 0, 1e-3), 2),
+			bin(nan, 1, 4, 0, 0)...), bin(-3, 1, 4, 1, 1)...),
+		// +Inf hessian / gradient overflow.
+		"seed-inf": append(append(append(header(inf, inf, 1, 0, 1e-3), 2),
+			bin(inf, inf, 4, 0, 0)...), bin(-3, 1, 4, 1, 1)...),
+		// All bins empty: no candidate may be emitted.
+		"seed-empty-bins": append(append(append(header(0, 0, 1, 0, 1e-3), 3),
+			append(bin(0, 0, 0, 0, 0), bin(0, 0, 0, 1, 1)...)...), bin(0, 0, 0, 2, 2)...),
+		// Constant feature: a single occupied bin has no split point.
+		"seed-constant": append(append(header(1, 2, 1, 0, 1e-3), 1),
+			bin(1, 2, 8, 5, 5)...),
+		// Infinite feature edges force a non-finite threshold.
+		"seed-inf-edges": append(append(append(header(0, 2, 1, 0, 1e-3), 2),
+			bin(3, 1, 4, -inf, -inf)...), bin(-3, 1, 4, inf, inf)...),
+		// NaN gamma rejects every candidate.
+		"seed-nan-gamma": append(append(append(header(0, 2, 1, nan, 1e-3), 2),
+			bin(3, 1, 4, 0, 0)...), bin(-3, 1, 4, 1, 1)...),
+	}
+	for name, b := range entries {
+		if err := writeEntry(dir, name, b); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d entries\n", dir, len(entries))
 	return nil
 }
 

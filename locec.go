@@ -143,6 +143,9 @@ type Config struct {
 	Rounds, MaxDepth int
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// GBDTWorkers bounds GBDT split-finding parallelism (0 = Workers).
+	// Any value produces bit-identical trees — a pure speed knob.
+	GBDTWorkers int
 	// Seed makes the run reproducible.
 	Seed int64
 	// Detector swaps the Phase I algorithm (default Girvan–Newman, the
@@ -277,9 +280,14 @@ func Classify(ds *social.Dataset, cfg Config) (*Result, error) {
 	}
 	switch cfg.Variant {
 	case VariantXGB:
+		gw := cfg.GBDTWorkers
+		if gw == 0 {
+			gw = cfg.Workers
+		}
 		coreCfg.Classifier = &core.XGBClassifier{
-			Config: gbdt.Config{Rounds: cfg.Rounds, MaxDepth: cfg.MaxDepth, Seed: cfg.Seed},
-			Seed:   cfg.Seed,
+			Config:  gbdt.Config{Rounds: cfg.Rounds, MaxDepth: cfg.MaxDepth, Seed: cfg.Seed},
+			Seed:    cfg.Seed,
+			Workers: gw,
 		}
 	default:
 		coreCfg.Classifier = &core.CNNClassifier{
