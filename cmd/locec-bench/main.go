@@ -15,6 +15,11 @@
 //
 //	locec-bench -list
 //
+// Profile a suite run (the profile covers prepare + warmup + measured
+// repetitions; open with go tool pprof):
+//
+//	locec-bench -suite smoke -cpuprofile cpu.pprof
+//
 // See docs/BENCHMARKING.md for the JSON schema and the baseline-update
 // workflow.
 package main
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"locec/internal/bench"
 )
@@ -46,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warmup     = fs.Int("warmup", 0, "untimed runs per scenario (0 = harness default)")
 		reps       = fs.Int("reps", 0, "measured repetitions per scenario (0 = harness default)")
 		quiet      = fs.Bool("q", false, "suppress per-repetition progress")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file (go tool pprof <binary> <file>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +64,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *diff != "":
 		return runDiff(*diff, fs.Args(), *threshold, *allocsGate, stdout, stderr)
 	default:
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "locec-bench: -cpuprofile:", err)
+				return 1
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				_ = f.Close()
+				fmt.Fprintln(stderr, "locec-bench: -cpuprofile:", err)
+				return 1
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(stderr, "locec-bench: -cpuprofile:", err)
+				}
+			}()
+		}
 		return runSuite(*suite, *out, *warmup, *reps, *quiet, stdout, stderr)
 	}
 }

@@ -133,13 +133,20 @@ func TestSmokeSuiteWritesValidReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the real smoke suite")
 	}
-	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_smoke.json")
+	profile := filepath.Join(dir, "cpu.pprof")
 	var stdout, stderr bytes.Buffer
-	if got := run([]string{"-suite", "smoke", "-out", out, "-warmup", "1", "-reps", "1", "-q"}, &stdout, &stderr); got != 0 {
+	if got := run([]string{"-suite", "smoke", "-out", out, "-warmup", "1", "-reps", "1", "-q", "-cpuprofile", profile}, &stdout, &stderr); got != 0 {
 		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatal(err)
+	}
+	if fi, err := os.Stat(profile); err != nil {
+		t.Errorf("-cpuprofile wrote nothing: %v", err)
+	} else if fi.Size() == 0 {
+		t.Error("-cpuprofile wrote an empty profile")
 	}
 	r, err := bench.ReadReport(out)
 	if err != nil {

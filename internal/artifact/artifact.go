@@ -310,6 +310,8 @@ func metaTimes(ns map[string]float64) core.PhaseTimes {
 	t.Phase1 = time.Duration(ns["division"])
 	t.Phase2 = time.Duration(ns["aggregation"])
 	t.Phase3 = time.Duration(ns["combination"])
+	t.CombinerTrain = time.Duration(ns["combiner_train"])
+	t.CombinerPredict = time.Duration(ns["combiner_predict"])
 	return t
 }
 

@@ -88,22 +88,20 @@ func TestRoundTripBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(res2.Predictions) != len(res.Predictions) {
-				t.Fatalf("%d predictions, want %d", len(res2.Predictions), len(res.Predictions))
+			if res2.Edges.Len() != res.Edges.Len() {
+				t.Fatalf("%d predictions, want %d", res2.Edges.Len(), res.Edges.Len())
 			}
-			for k, want := range res.Predictions {
-				if got := res2.Predictions[k]; got != want {
+			for i, k := range res.Edges.Keys() {
+				if got, want := res2.Edges.LabelAt(i), res.Edges.LabelAt(i); got != want {
 					t.Fatalf("edge %d: prediction %v, want %v", k, got, want)
 				}
-			}
-			for k, want := range res.Probabilities {
-				got := res2.Probabilities[k]
+				got, want := res2.Edges.ProbsAt(i), res.Edges.ProbsAt(i)
 				if len(got) != len(want) {
 					t.Fatalf("edge %d: %d probabilities, want %d", k, len(got), len(want))
 				}
-				for i := range want {
-					if got[i] != want[i] { // bit-identical, not approximately equal
-						t.Fatalf("edge %d class %d: probability %v, want %v", k, i, got[i], want[i])
+				for c := range want {
+					if got[c] != want[c] { // bit-identical, not approximately equal
+						t.Fatalf("edge %d class %d: probability %v, want %v", k, c, got[c], want[c])
 					}
 				}
 			}

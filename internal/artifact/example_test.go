@@ -65,9 +65,9 @@ func Example() {
 		return
 	}
 
-	identical := len(restored.Predictions) == len(res.Predictions)
-	for k, want := range res.Predictions {
-		if restored.Predictions[k] != want {
+	identical := restored.Edges.Len() == res.Edges.Len()
+	for i, k := range res.Edges.Keys() {
+		if got, ok := restored.Edges.Label(k); !ok || got != res.Edges.LabelAt(i) {
 			identical = false
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"locec/internal/artifact"
 	"locec/internal/core"
 	"locec/internal/graph"
+	"locec/internal/logreg"
 	"locec/internal/serve"
 	"locec/internal/social"
 )
@@ -212,6 +214,44 @@ func CombineScenario(users int) Scenario {
 	}
 }
 
+// LogregTrainScenario measures the Phase III combiner's mini-batch GEMM
+// trainer alone: softmax regression over a synthetic feature matrix at
+// the combiner shape (182-wide rows, 3 classes, default hyperparameters).
+// It isolates logreg.Train's batched kernels from feature construction
+// and the rest of the pipeline, so a kernel regression shows here even
+// when combine/... is dominated by prediction or setup cost.
+func LogregTrainScenario(rows int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("logreg/train/n=%d", rows),
+		Params: map[string]string{
+			"rows":     fmt.Sprint(rows),
+			"features": "182",
+			"classes":  "3",
+		},
+		Prepare: func() (RunFunc, error) {
+			// 2 tightness values + two 90-wide r_C embeddings: the edge
+			// feature width the xgb pipeline feeds the combiner.
+			const features = 182
+			rng := rand.New(rand.NewSource(42))
+			flat := make([]float64, rows*features)
+			for i := range flat {
+				flat[i] = rng.NormFloat64()
+			}
+			X := make([][]float64, rows)
+			y := make([]int, rows)
+			for i := range X {
+				X[i] = flat[i*features : (i+1)*features]
+				y[i] = rng.Intn(3)
+			}
+			cfg := logreg.Config{Classes: 3, Seed: 7}
+			return func(m *M) error {
+				_, err := logreg.Train(X, y, cfg)
+				return err
+			}, nil
+		},
+	}
+}
+
 // DivideScenario measures Phase I alone with one community-detection
 // algorithm — the detector-comparison axis.
 func DivideScenario(detector string, users int) Scenario {
@@ -296,9 +336,9 @@ func IncrementalApplyScenario(users int) Scenario {
 				if err != nil {
 					return err
 				}
-				if len(newRes.Predictions) != len(res.Predictions)+1 {
+				if newRes.Edges.Len() != res.Edges.Len()+1 {
 					return fmt.Errorf("bench: apply produced %d predictions, want %d",
-						len(newRes.Predictions), len(res.Predictions)+1)
+						newRes.Edges.Len(), res.Edges.Len()+1)
 				}
 				m.RecordPhase("apply", stats.Duration)
 				return nil
@@ -368,9 +408,9 @@ func IncrementalApplySeededScenario(users int) Scenario {
 				if err != nil {
 					return err
 				}
-				if len(newRes.Predictions) != len(res.Predictions)+1 {
+				if newRes.Edges.Len() != res.Edges.Len()+1 {
 					return fmt.Errorf("bench: apply produced %d predictions, want %d",
-						len(newRes.Predictions), len(res.Predictions)+1)
+						newRes.Edges.Len(), res.Edges.Len()+1)
 				}
 				if stats.SeededEgos == 0 {
 					return fmt.Errorf("bench: seeded apply replayed no egos (stats = %+v)", stats)
@@ -471,7 +511,7 @@ func ArtifactLoadScenario(users int) Scenario {
 				if err != nil {
 					return err
 				}
-				if len(res.Predictions) == 0 {
+				if res.Edges.Len() == 0 {
 					return fmt.Errorf("bench: loaded artifact has no predictions")
 				}
 				return nil

@@ -35,6 +35,12 @@ var suites = map[string]func() []Scenario{
 			// workers sweep tracks the fan-out's marginal value (trees
 			// are bit-identical across the sweep by construction).
 			PipelineScenario(10000, 1.0),
+			// The vectorized-combiner acceptance rows: Phase III alone at
+			// n=10000 (GEMM-batched training + blocked prediction over
+			// ~100k edges) and the logreg trainer isolated at the
+			// combiner's 182-feature shape.
+			CombineScenario(10000),
+			LogregTrainScenario(8192),
 			GBDTTrainScenario(1000, 1),
 			GBDTTrainScenario(1000, 4),
 			GBDTTrainScenario(1000, 8),

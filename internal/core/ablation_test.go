@@ -111,7 +111,7 @@ func TestAgreementRulePipeline(t *testing.T) {
 	}
 	// Probabilities are normalized.
 	for _, k := range test[:20] {
-		probs := res.Probabilities[k]
+		probs := res.Edges.Probs(k)
 		sum := 0.0
 		for _, v := range probs {
 			sum += v

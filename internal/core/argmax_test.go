@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+func TestArgmaxDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		x    []float64
+		want int
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"tie-lowest-index", []float64{0.4, 0.4, 0.2}, 0},
+		{"tie-interior", []float64{0.1, 0.45, 0.45}, 1},
+		{"single", []float64{0.3}, 0},
+		{"plain", []float64{0.1, 0.2, 0.7}, 2},
+	}
+	for _, c := range cases {
+		if got := Argmax(c.x); got != c.want {
+			t.Errorf("%s: Argmax(%v) = %d, want %d", c.name, c.x, got, c.want)
+		}
+	}
+}
+
+// agreementEgo builds a one-friend ego result whose single community
+// carries the given probability vector and tightness.
+func agreementEgo(ego, friend graph.NodeID, probs []float64, tight float64) *EgoResult {
+	c := &LocalCommunity{
+		Ego:       ego,
+		Members:   []graph.NodeID{friend},
+		Tightness: []float64{tight},
+		Probs:     probs,
+	}
+	return &EgoResult{
+		Ego:       ego,
+		Members:   []graph.NodeID{friend},
+		CommIdx:   []int{0},
+		Tightness: []float64{tight},
+		Comms:     []*LocalCommunity{c},
+	}
+}
+
+// runAgreement pushes the single edge {0,1} through the agreement rule
+// with the two endpoint communities configured as given.
+func runAgreement(t *testing.T, probsU, probsV []float64, tu, tv float64) (social.Label, []float64) {
+	t.Helper()
+	classes := social.NumLabels
+	res := &Result{Egos: []*EgoResult{
+		agreementEgo(0, 1, probsU, tu),
+		agreementEgo(1, 0, probsV, tv),
+	}}
+	edges := []graph.Edge{{U: 0, V: 1}}
+	preds := make([]social.Label, 1)
+	probsFlat := make([]float64, classes)
+	(&Pipeline{}).predictEdgesByAgreement(res, edges, preds, probsFlat, classes)
+	return preds[0], probsFlat
+}
+
+func TestAgreementRuleEndpointsAgree(t *testing.T) {
+	// Both communities argmax to class 1: the rule must take it directly,
+	// whatever the blend would say.
+	l, _ := runAgreement(t, []float64{0.1, 0.9, 0}, []float64{0.4, 0.6, 0}, 1, 1)
+	if l != social.Label(1) {
+		t.Fatalf("agreeing endpoints: label = %v, want %v", l, social.Label(1))
+	}
+}
+
+func TestAgreementBlendDisagreement(t *testing.T) {
+	// Disagreeing endpoints: tightness-weighted sum, renormalized.
+	// blended = 1*{0.6,0.4,0} + 3*{0,1,0} = {0.6,3.4,0}, total 4.
+	l, probs := runAgreement(t, []float64{0.6, 0.4, 0}, []float64{0, 1, 0}, 1, 3)
+	if l != social.Label(1) {
+		t.Fatalf("blend: label = %v, want %v", l, social.Label(1))
+	}
+	want := []float64{0.15, 0.85, 0}
+	for c := range want {
+		if math.Abs(probs[c]-want[c]) > 1e-12 {
+			t.Fatalf("blend: probs = %v, want %v", probs, want)
+		}
+	}
+}
+
+func TestAgreementBlendZeroTotal(t *testing.T) {
+	// Zero tightness on both endpoints makes the blended vector all-zero
+	// (total == 0). The divide is skipped — the output must stay finite
+	// (no NaN from 0/0) and the tie resolves to the lowest class index.
+	l, probs := runAgreement(t, []float64{0, 1, 0}, []float64{0, 0, 1}, 0, 0)
+	if l != social.Label(0) {
+		t.Fatalf("zero-total blend: label = %v, want %v", l, social.Label(0))
+	}
+	for c, p := range probs {
+		if p != 0 {
+			t.Fatalf("zero-total blend: probs[%d] = %v, want 0", c, p)
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("zero-total blend: probs[%d] = %v, not finite", c, p)
+		}
+	}
+}
+
+func TestAgreementBlendAllZeroProbs(t *testing.T) {
+	// All-zero probability vectors on both sides: both endpoint argmaxes
+	// degenerate to class 0, so the endpoints "agree" and the rule labels
+	// the edge class 0 without dividing by the zero total.
+	l, probs := runAgreement(t, []float64{0, 0, 0}, []float64{0, 0, 0}, 0.5, 0.5)
+	if l != social.Label(0) {
+		t.Fatalf("all-zero probs: label = %v, want %v", l, social.Label(0))
+	}
+	for c, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("all-zero probs: probs[%d] = %v, not finite", c, p)
+		}
+	}
+}

@@ -36,16 +36,14 @@ func TestCombineStandaloneMatchesRun(t *testing.T) {
 	if err := p.Combine(ds, redo); err != nil {
 		t.Fatal(err)
 	}
-	if len(redo.Predictions) != len(res.Predictions) {
-		t.Fatalf("prediction count %d, want %d", len(redo.Predictions), len(res.Predictions))
+	if redo.Edges.Len() != res.Edges.Len() {
+		t.Fatalf("prediction count %d, want %d", redo.Edges.Len(), res.Edges.Len())
 	}
-	for k, want := range res.Predictions {
-		if got := redo.Predictions[k]; got != want {
+	for i, k := range res.Edges.Keys() {
+		if got, want := redo.Edges.LabelAt(i), res.Edges.LabelAt(i); got != want {
 			t.Fatalf("edge %d: prediction %v, want %v", k, got, want)
 		}
-	}
-	for k, want := range res.Probabilities {
-		got := redo.Probabilities[k]
+		got, want := redo.Edges.ProbsAt(i), res.Edges.ProbsAt(i)
 		if len(got) != len(want) {
 			t.Fatalf("edge %d: probs len %d, want %d", k, len(got), len(want))
 		}
@@ -74,10 +72,11 @@ func TestCombineProbabilitiesWellFormed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.Predictions) != ds.G.NumEdges() {
-			t.Fatalf("agreement=%v: %d predictions for %d edges", agreement, len(res.Predictions), ds.G.NumEdges())
+		if res.Edges.Len() != ds.G.NumEdges() {
+			t.Fatalf("agreement=%v: %d predictions for %d edges", agreement, res.Edges.Len(), ds.G.NumEdges())
 		}
-		for k, probs := range res.Probabilities {
+		for i, k := range res.Edges.Keys() {
+			probs := res.Edges.ProbsAt(i)
 			sum := 0.0
 			for _, v := range probs {
 				sum += v
@@ -86,7 +85,7 @@ func TestCombineProbabilitiesWellFormed(t *testing.T) {
 				t.Fatalf("agreement=%v edge %d: probs sum %v", agreement, k, sum)
 			}
 			if !agreement {
-				if got, want := res.Predictions[k], social.Label(Argmax(probs)); got != want {
+				if got, want := res.Edges.LabelAt(i), social.Label(Argmax(probs)); got != want {
 					t.Fatalf("agreement=%v edge %d: prediction %v, argmax %v", agreement, k, got, want)
 				}
 			}

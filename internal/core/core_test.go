@@ -281,15 +281,15 @@ func TestPipelineCNNEndToEnd(t *testing.T) {
 	if rep.Overall.F1 < 0.60 {
 		t.Fatalf("LoCEC-CNN overall F1 = %.3f, want >= 0.60\n%s", rep.Overall.F1, rep)
 	}
-	if len(res.Predictions) != 0 && len(res.Predictions) != resEdgeCount(res) {
-		t.Fatalf("predictions for %d edges", len(res.Predictions))
+	if res.Edges.Len() != 0 && res.Edges.Len() != resEdgeCount(res) {
+		t.Fatalf("predictions for %d edges", res.Edges.Len())
 	}
 	if res.Times.Phase1 <= 0 || res.Times.Phase2 <= 0 || res.Times.Phase3 <= 0 {
 		t.Fatalf("phase times not recorded: %+v", res.Times)
 	}
 }
 
-func resEdgeCount(res *Result) int { return len(res.Probabilities) }
+func resEdgeCount(res *Result) int { return len(res.Edges.ProbsFlat()) / res.Edges.Classes() }
 
 func TestPipelineXGBEndToEnd(t *testing.T) {
 	rep, _ := runPipeline(t, &XGBClassifier{Seed: 2})

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"locec/internal/graph"
+	"locec/internal/social"
+)
+
+// EdgeStore holds every predicted edge's label and class-probability
+// vector in flat parallel arrays sorted by canonical edge key: keys[i]
+// owns labels[i] and probs[i*classes:(i+1)*classes]. It replaces the two
+// per-edge maps a Result used to carry — a full run over a graph with E
+// edges now publishes three slice headers instead of building 2E map
+// entries, lookups are a binary search over one contiguous key array, and
+// the artifact export/import round-trip is a zero-copy wrap (the artifact
+// format already stores exactly these arrays).
+//
+// Stores are immutable after construction: the incremental engine derives
+// new stores with without/merged rather than editing in place, so a
+// serving snapshot can keep reading an old store while its successor is
+// assembled (the same copy-on-write contract the maps had).
+type EdgeStore struct {
+	keys    []uint64
+	labels  []social.Label
+	probs   []float64
+	classes int
+}
+
+// NewEdgeStore wraps the given parallel arrays without copying. keys must
+// be strictly increasing, labels the same length, and probs exactly
+// len(keys)*classes wide.
+func NewEdgeStore(keys []uint64, labels []social.Label, probs []float64, classes int) (*EdgeStore, error) {
+	if len(labels) != len(keys) {
+		return nil, fmt.Errorf("core: edge store: %d labels for %d keys", len(labels), len(keys))
+	}
+	if classes <= 0 || len(probs) != len(keys)*classes {
+		return nil, fmt.Errorf("core: edge store: %d probabilities for %d keys x %d classes",
+			len(probs), len(keys), classes)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return nil, fmt.Errorf("core: edge store: keys not strictly increasing at %d", i)
+		}
+	}
+	return &EdgeStore{keys: keys, labels: labels, probs: probs, classes: classes}, nil
+}
+
+// newEdgeStoreFromRun builds a store from prediction output in edge-list
+// order, taking ownership of the slices. Graph edge enumeration yields
+// ascending canonical keys already, so the common case is a wrap; input in
+// any other order (defensive) is permuted into sorted order first.
+func newEdgeStoreFromRun(edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) *EdgeStore {
+	keys := make([]uint64, len(edges))
+	ascending := true
+	for i, e := range edges {
+		keys[i] = e.Key()
+		if i > 0 && keys[i-1] >= keys[i] {
+			ascending = false
+		}
+	}
+	if !ascending {
+		perm := make([]int, len(keys))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+		sk := make([]uint64, len(keys))
+		sl := make([]social.Label, len(preds))
+		sp := make([]float64, len(probsFlat))
+		for i, j := range perm {
+			sk[i] = keys[j]
+			sl[i] = preds[j]
+			copy(sp[i*classes:(i+1)*classes], probsFlat[j*classes:(j+1)*classes])
+		}
+		keys, preds, probsFlat = sk, sl, sp
+	}
+	return &EdgeStore{keys: keys, labels: preds, probs: probsFlat, classes: classes}
+}
+
+// Len returns the number of stored edges. Safe on a nil store.
+func (s *EdgeStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.keys)
+}
+
+// Classes returns the probability-vector width.
+func (s *EdgeStore) Classes() int {
+	if s == nil {
+		return 0
+	}
+	return s.classes
+}
+
+// Keys returns the sorted key array as a shared read-only view.
+func (s *EdgeStore) Keys() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.keys
+}
+
+// Labels returns the label array (parallel to Keys) as a shared read-only
+// view.
+func (s *EdgeStore) Labels() []social.Label {
+	if s == nil {
+		return nil
+	}
+	return s.labels
+}
+
+// ProbsFlat returns the flat probability backing (Len()*Classes()) as a
+// shared read-only view.
+func (s *EdgeStore) ProbsFlat() []float64 {
+	if s == nil {
+		return nil
+	}
+	return s.probs
+}
+
+// LabelAt returns the label at position i.
+func (s *EdgeStore) LabelAt(i int) social.Label { return s.labels[i] }
+
+// ProbsAt returns the probability vector at position i as a view into the
+// flat backing.
+func (s *EdgeStore) ProbsAt(i int) []float64 {
+	return s.probs[i*s.classes : (i+1)*s.classes]
+}
+
+// Find returns the position of key and whether it is present. Safe on a
+// nil store.
+func (s *EdgeStore) Find(key uint64) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.keys) && s.keys[lo] == key
+}
+
+// Label returns the predicted label for key; ok=false (and the zero
+// label) when the edge is unknown.
+func (s *EdgeStore) Label(key uint64) (social.Label, bool) {
+	i, ok := s.Find(key)
+	if !ok {
+		return 0, false
+	}
+	return s.labels[i], true
+}
+
+// Probs returns the probability vector for key as a view into the flat
+// backing, or nil when the edge is unknown.
+func (s *EdgeStore) Probs(key uint64) []float64 {
+	i, ok := s.Find(key)
+	if !ok {
+		return nil
+	}
+	return s.ProbsAt(i)
+}
+
+// LabelMap materializes a key→label map — the thin map-shaped accessor
+// for consumers that still want one (e.g. the ads simulator). It
+// allocates; hot paths should use Find/Label instead.
+func (s *EdgeStore) LabelMap() map[uint64]social.Label {
+	out := make(map[uint64]social.Label, s.Len())
+	if s != nil {
+		for i, k := range s.keys {
+			out[k] = s.labels[i]
+		}
+	}
+	return out
+}
+
+// without returns a new store with the given keys removed (keys must be
+// sorted ascending; absent keys are ignored). The receiver is untouched.
+func (s *EdgeStore) without(removed []uint64) *EdgeStore {
+	if s == nil || len(removed) == 0 {
+		return s
+	}
+	keys := make([]uint64, 0, len(s.keys))
+	labels := make([]social.Label, 0, len(s.labels))
+	probs := make([]float64, 0, len(s.probs))
+	r := 0
+	for i, k := range s.keys {
+		for r < len(removed) && removed[r] < k {
+			r++
+		}
+		if r < len(removed) && removed[r] == k {
+			continue
+		}
+		keys = append(keys, k)
+		labels = append(labels, s.labels[i])
+		probs = append(probs, s.probs[i*s.classes:(i+1)*s.classes]...)
+	}
+	return &EdgeStore{keys: keys, labels: labels, probs: probs, classes: s.classes}
+}
+
+// merged returns a new store holding the union of s and fresh, with
+// fresh's entries replacing s's on key collisions — the linear merge that
+// replaced the incremental engine's per-edge map writes. Both inputs are
+// untouched; a nil receiver yields fresh itself.
+func (s *EdgeStore) merged(fresh *EdgeStore) *EdgeStore {
+	if s == nil || len(s.keys) == 0 {
+		return fresh
+	}
+	if fresh.Len() == 0 {
+		return s
+	}
+	if s.classes != fresh.classes {
+		panic(fmt.Sprintf("core: edge store merge: %d classes vs %d", s.classes, fresh.classes))
+	}
+	n := len(s.keys) + len(fresh.keys)
+	keys := make([]uint64, 0, n)
+	labels := make([]social.Label, 0, n)
+	probs := make([]float64, 0, n*s.classes)
+	i, j := 0, 0
+	for i < len(s.keys) || j < len(fresh.keys) {
+		takeFresh := j < len(fresh.keys) &&
+			(i >= len(s.keys) || fresh.keys[j] <= s.keys[i])
+		if takeFresh {
+			if i < len(s.keys) && fresh.keys[j] == s.keys[i] {
+				i++ // replaced
+			}
+			keys = append(keys, fresh.keys[j])
+			labels = append(labels, fresh.labels[j])
+			probs = append(probs, fresh.probs[j*s.classes:(j+1)*s.classes]...)
+			j++
+		} else {
+			keys = append(keys, s.keys[i])
+			labels = append(labels, s.labels[i])
+			probs = append(probs, s.probs[i*s.classes:(i+1)*s.classes]...)
+			i++
+		}
+	}
+	return &EdgeStore{keys: keys, labels: labels, probs: probs, classes: s.classes}
+}

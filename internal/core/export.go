@@ -48,40 +48,24 @@ type Export struct {
 
 // Export packages the result for the artifact store. It fails if the
 // result has no predictions (the pipeline did not finish Phase III).
+// The result's EdgeStore already keeps exactly the artifact's layout
+// (ascending keys, parallel labels, one flat probability backing), so the
+// edge arrays are three whole-slice clones — no per-edge map walk or key
+// sort happens here anymore; the clones keep the export independent of
+// the live store.
 func (r *Result) Export() (*Export, error) {
-	if len(r.Predictions) == 0 {
+	if r.Edges.Len() == 0 {
 		return nil, fmt.Errorf("core: export: result has no predictions")
-	}
-	keys := make([]uint64, 0, len(r.Predictions))
-	for k := range r.Predictions {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	classes := 0
-	for _, p := range r.Probabilities {
-		classes = len(p)
-		break
-	}
-	if classes == 0 {
-		return nil, fmt.Errorf("core: export: result has no probability vectors")
 	}
 	ex := &Export{
 		ClassifierName: r.ClassifierName,
-		Classes:        classes,
+		Classes:        r.Edges.Classes(),
 		Egos:           r.Egos,
-		EdgeKeys:       keys,
-		Predictions:    make([]social.Label, len(keys)),
-		Probabilities:  make([]float64, len(keys)*classes),
+		EdgeKeys:       slices.Clone(r.Edges.Keys()),
+		Predictions:    slices.Clone(r.Edges.Labels()),
+		Probabilities:  slices.Clone(r.Edges.ProbsFlat()),
 		Combiner:       r.Combiner,
 		Times:          r.Times,
-	}
-	for i, k := range keys {
-		ex.Predictions[i] = r.Predictions[k]
-		probs := r.Probabilities[k]
-		if len(probs) != classes {
-			return nil, fmt.Errorf("core: export: edge %d has %d probabilities, want %d", k, len(probs), classes)
-		}
-		copy(ex.Probabilities[i*classes:(i+1)*classes], probs)
 	}
 	if mp, ok := r.Classifier.(ModelPersister); ok {
 		var buf bytes.Buffer
@@ -149,12 +133,14 @@ func (p *Pipeline) RunFromArtifact(ex *Export) (*Result, error) {
 	for _, er := range ex.Egos {
 		res.Communities = append(res.Communities, er.Comms...)
 	}
-	res.Predictions = make(map[uint64]social.Label, len(ex.EdgeKeys))
-	res.Probabilities = make(map[uint64][]float64, len(ex.EdgeKeys))
-	for i, k := range ex.EdgeKeys {
-		res.Predictions[k] = ex.Predictions[i]
-		res.Probabilities[k] = ex.Probabilities[i*ex.Classes : (i+1)*ex.Classes]
+	// Validate vouched for ascending keys and parallel shapes, so the
+	// store wraps the artifact arrays directly — import is O(1) in the
+	// edge count where it used to build two maps.
+	es, err := NewEdgeStore(ex.EdgeKeys, ex.Predictions, ex.Probabilities, ex.Classes)
+	if err != nil {
+		return nil, err
 	}
+	res.Edges = es
 	if len(ex.Model) > 0 {
 		cl, err := classifierForName(ex.ClassifierName)
 		if err != nil {

@@ -35,23 +35,21 @@ func TestExportRoundTripWithoutSerialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ex.EdgeKeys) != len(res.Predictions) {
-		t.Fatalf("%d exported edges, want %d", len(ex.EdgeKeys), len(res.Predictions))
+	if len(ex.EdgeKeys) != res.Edges.Len() {
+		t.Fatalf("%d exported edges, want %d", len(ex.EdgeKeys), res.Edges.Len())
 	}
 	res2, err := NewPipeline(Config{Seed: 1}).RunFromArtifact(ex)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k, want := range res.Predictions {
-		if res2.Predictions[k] != want {
-			t.Fatalf("edge %d: %v, want %v", k, res2.Predictions[k], want)
+	for i, k := range res.Edges.Keys() {
+		if got, want := res2.Edges.LabelAt(i), res.Edges.LabelAt(i); got != want {
+			t.Fatalf("edge %d: %v, want %v", k, got, want)
 		}
-	}
-	for k, want := range res.Probabilities {
-		got := res2.Probabilities[k]
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("edge %d class %d: %v, want %v", k, i, got[i], want[i])
+		got, want := res2.Edges.ProbsAt(i), res.Edges.ProbsAt(i)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("edge %d class %d: %v, want %v", k, c, got[c], want[c])
 			}
 		}
 	}

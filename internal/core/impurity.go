@@ -55,8 +55,8 @@ func (c *LocalCommunity) Outliers(ratio float64) []OutlierMember {
 // relationship mining extension. With a high threshold it degenerates to
 // the single principal type.
 func (r *Result) MultiLabel(u, v graph.NodeID, threshold float64) []LabelScore {
-	probs, ok := r.Probabilities[(graph.Edge{U: u, V: v}).Key()]
-	if !ok {
+	probs := r.Edges.Probs((graph.Edge{U: u, V: v}).Key())
+	if probs == nil {
 		return nil
 	}
 	var out []LabelScore

@@ -49,11 +49,14 @@ func TestOutliersDefaultRatio(t *testing.T) {
 }
 
 func TestMultiLabel(t *testing.T) {
-	res := &Result{
-		Probabilities: map[uint64][]float64{
-			(graph.Edge{U: 1, V: 2}).Key(): {0.50, 0.38, 0.12},
-		},
+	es, err := NewEdgeStore(
+		[]uint64{(graph.Edge{U: 1, V: 2}).Key()},
+		[]social.Label{social.Colleague},
+		[]float64{0.50, 0.38, 0.12}, 3)
+	if err != nil {
+		t.Fatal(err)
 	}
+	res := &Result{Edges: es}
 	ls := res.MultiLabel(1, 2, 0.3)
 	if len(ls) != 2 {
 		t.Fatalf("labels = %+v, want 2", ls)

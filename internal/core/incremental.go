@@ -245,12 +245,15 @@ func (p *Pipeline) ApplyMutations(ds *social.Dataset, res *Result, batch []Mutat
 	// An edge's features read only its endpoints' ego results, so the
 	// affected set is every surviving edge incident to a dirty node (the
 	// batch's added edges are incident to dirty endpoints by construction).
-	newRes.Predictions = maps.Clone(res.Predictions)
-	newRes.Probabilities = maps.Clone(res.Probabilities)
+	// The carried-over predictions are one linear filter of the old flat
+	// store (dropping removed keys) — the old 2E-entry map clones are gone;
+	// RecombineEdges then merges the fresh dirty-edge store in linearly.
+	removedKeys := make([]uint64, 0, len(removed))
 	for _, e := range removed {
-		delete(newRes.Predictions, e.Key())
-		delete(newRes.Probabilities, e.Key())
+		removedKeys = append(removedKeys, e.Key())
 	}
+	slices.Sort(removedKeys)
+	newRes.Edges = res.Edges.without(removedKeys)
 	seen := make(map[uint64]struct{}, len(dirty)*8)
 	var dirtyEdges []graph.Edge
 	for _, u := range dirty {
@@ -310,26 +313,21 @@ func VerifyIncremental(p *Pipeline, ds *social.Dataset, res *Result, batch []Mut
 
 // diffResults compares two results' predictions and probability vectors.
 func diffResults(want, got *Result, tol float64) error {
-	if len(want.Predictions) != len(got.Predictions) {
-		return fmt.Errorf("core: oracle: %d predictions, want %d", len(got.Predictions), len(want.Predictions))
+	if want.Edges.Len() != got.Edges.Len() {
+		return fmt.Errorf("core: oracle: %d predictions, want %d", got.Edges.Len(), want.Edges.Len())
 	}
-	for k, wl := range want.Predictions {
-		gl, ok := got.Predictions[k]
+	for i, k := range want.Edges.Keys() {
+		gi, ok := got.Edges.Find(k)
 		if !ok {
 			return fmt.Errorf("core: oracle: edge %v missing from incremental result", graph.EdgeFromKey(k))
 		}
-		if gl != wl {
+		if gl, wl := got.Edges.LabelAt(gi), want.Edges.LabelAt(i); gl != wl {
 			return fmt.Errorf("core: oracle: edge %v predicted %v incrementally, %v from scratch",
 				graph.EdgeFromKey(k), gl, wl)
 		}
-	}
-	if len(want.Probabilities) != len(got.Probabilities) {
-		return fmt.Errorf("core: oracle: %d probability vectors, want %d", len(got.Probabilities), len(want.Probabilities))
-	}
-	for k, wp := range want.Probabilities {
-		gp, ok := got.Probabilities[k]
-		if !ok || len(gp) != len(wp) {
-			return fmt.Errorf("core: oracle: edge %v probability vector missing or misshaped", graph.EdgeFromKey(k))
+		wp, gp := want.Edges.ProbsAt(i), got.Edges.ProbsAt(gi)
+		if len(gp) != len(wp) {
+			return fmt.Errorf("core: oracle: edge %v probability vector misshaped", graph.EdgeFromKey(k))
 		}
 		for c := range wp {
 			d := gp[c] - wp[c]

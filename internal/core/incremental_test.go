@@ -138,7 +138,7 @@ func TestIncrementalOracleCNN(t *testing.T) {
 func TestApplyMutationsCopyOnWrite(t *testing.T) {
 	p, ds, res := incrementalFixture(t, xgbConfig())
 	beforeEdges := ds.G.NumEdges()
-	beforePreds := len(res.Predictions)
+	beforePreds := res.Edges.Len()
 
 	// Find an absent pair and a present edge deterministically.
 	var addU, addV graph.NodeID
@@ -166,13 +166,13 @@ func TestApplyMutationsCopyOnWrite(t *testing.T) {
 	}
 
 	// Inputs untouched.
-	if ds.G.NumEdges() != beforeEdges || len(res.Predictions) != beforePreds {
+	if ds.G.NumEdges() != beforeEdges || res.Edges.Len() != beforePreds {
 		t.Fatal("ApplyMutations mutated its inputs")
 	}
 	if ds.G.HasEdge(addU, addV) {
 		t.Fatal("added edge leaked into the old graph")
 	}
-	if _, ok := res.Predictions[(graph.Edge{U: addU, V: addV}).Key()]; ok {
+	if _, ok := res.Edges.Label((graph.Edge{U: addU, V: addV}).Key()); ok {
 		t.Fatal("added edge leaked into the old predictions")
 	}
 
@@ -192,8 +192,8 @@ func TestApplyMutationsCopyOnWrite(t *testing.T) {
 	if err := newDS.Validate(); err != nil {
 		t.Fatalf("mutated dataset invalid: %v", err)
 	}
-	if len(newRes.Predictions) != newDS.G.NumEdges() {
-		t.Fatalf("%d predictions for %d edges", len(newRes.Predictions), newDS.G.NumEdges())
+	if newRes.Edges.Len() != newDS.G.NumEdges() {
+		t.Fatalf("%d predictions for %d edges", newRes.Edges.Len(), newDS.G.NumEdges())
 	}
 
 	// Stats describe the work.
@@ -253,9 +253,9 @@ func TestApplyMutationsRemoveEveryEdge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if newDS.G.NumEdges() != 0 || len(newRes.Predictions) != 0 || len(newRes.Probabilities) != 0 {
+	if newDS.G.NumEdges() != 0 || newRes.Edges.Len() != 0 {
 		t.Fatalf("edges=%d predictions=%d after removing everything",
-			newDS.G.NumEdges(), len(newRes.Predictions))
+			newDS.G.NumEdges(), newRes.Edges.Len())
 	}
 	if stats.RemovedEdges != len(edges) || stats.DirtyEdges != 0 {
 		t.Fatalf("stats = %+v", stats)

@@ -42,12 +42,13 @@ func TestIncrementalOracleParallelTrainer(t *testing.T) {
 func TestParallelTrainerMatchesSerialRun(t *testing.T) {
 	_, _, serial := incrementalFixture(t, localConfig(DetectorClauset))
 	_, _, parallel := incrementalFixture(t, parallelLocalConfig(DetectorClauset))
-	if len(serial.Probabilities) != len(parallel.Probabilities) {
-		t.Fatalf("prediction counts differ: %d vs %d", len(serial.Probabilities), len(parallel.Probabilities))
+	if serial.Edges.Len() != parallel.Edges.Len() {
+		t.Fatalf("prediction counts differ: %d vs %d", serial.Edges.Len(), parallel.Edges.Len())
 	}
-	for k, sp := range serial.Probabilities {
-		pp, ok := parallel.Probabilities[k]
-		if !ok {
+	for i, k := range serial.Edges.Keys() {
+		sp := serial.Edges.ProbsAt(i)
+		pp := parallel.Edges.Probs(k)
+		if pp == nil {
 			t.Fatalf("edge %v missing from parallel run", k)
 		}
 		for c := range sp {

@@ -20,6 +20,13 @@ type Config struct {
 	Classifier CommunityClassifier
 	// Combiner tunes the Phase III logistic regression.
 	Combiner logreg.Config
+	// Float32Inference runs Phase III edge prediction through the float32
+	// GEMM path: features and combiner weights narrow to float32 for the
+	// logits, widening only for the softmax. Probabilities drift from the
+	// float64 kernels by roundoff (≲1e-5 absolute), so it is opt-in for
+	// inference-only workloads; leave it off anywhere probabilities are
+	// persisted, served, or compared bit-for-bit.
+	Float32Inference bool
 	// AgreementRule replaces the Phase III logistic regression with the
 	// naive rule the paper discusses before introducing LR: if both
 	// endpoint communities agree on a type, use it; otherwise take the
@@ -31,11 +38,17 @@ type Config struct {
 }
 
 // PhaseTimes records wall-clock durations per phase (Table VI's columns).
+// Phase3 splits further into the combiner's two sub-phases; the sub-phase
+// durations sum to slightly less than Phase3 (edge-list materialization
+// and map publishing sit between them).
 type PhaseTimes struct {
 	Training time.Duration // Phase II model training
 	Phase1   time.Duration // division: ego networks + community detection
 	Phase2   time.Duration // aggregation: features + community classification
 	Phase3   time.Duration // combination: edge features + LR + prediction
+
+	CombinerTrain   time.Duration // Phase III sub-phase: LR training
+	CombinerPredict time.Duration // Phase III sub-phase: edge prediction + publish
 }
 
 // Total sums all phases including training.
@@ -48,10 +61,12 @@ func (p PhaseTimes) Total() time.Duration {
 // Changing a key is a schema change for both.
 func (p PhaseTimes) Map() map[string]time.Duration {
 	return map[string]time.Duration{
-		"training":    p.Training,
-		"division":    p.Phase1,
-		"aggregation": p.Phase2,
-		"combination": p.Phase3,
+		"training":         p.Training,
+		"division":         p.Phase1,
+		"aggregation":      p.Phase2,
+		"combination":      p.Phase3,
+		"combiner_train":   p.CombinerTrain,
+		"combiner_predict": p.CombinerPredict,
 	}
 }
 
@@ -61,10 +76,11 @@ type Result struct {
 	Egos []*EgoResult
 	// Communities flattens every local community across all ego networks.
 	Communities []*LocalCommunity
-	// Predictions maps every edge key to its predicted label.
-	Predictions map[uint64]social.Label
-	// Probabilities maps every edge key to its class probability vector.
-	Probabilities map[uint64][]float64
+	// Edges holds every predicted edge's label and class-probability
+	// vector in one flat store sorted by canonical edge key (nil before
+	// Phase III runs). Use its Label/Probs lookups or the Result's
+	// PredictedLabel wrappers.
+	Edges *EdgeStore
 	// Times records per-phase durations.
 	Times PhaseTimes
 	// ClassifierName echoes the Phase II model used.
@@ -79,18 +95,20 @@ type Result struct {
 }
 
 // PredictedLabel returns the predicted label for the edge {u,v}. For an
-// edge the result does not know, the map lookup's zero value — Colleague —
-// comes back indistinguishable from a real prediction; callers that can
-// see unknown edges (servers, evaluators) should use PredictedLabelOK.
+// edge the result does not know, the zero label — Colleague — comes back
+// indistinguishable from a real prediction (the old map lookup's
+// semantics); callers that can see unknown edges (servers, evaluators)
+// should use PredictedLabelOK.
 func (r *Result) PredictedLabel(u, v graph.NodeID) social.Label {
-	return r.Predictions[(graph.Edge{U: u, V: v}).Key()]
+	l, _ := r.Edges.Label((graph.Edge{U: u, V: v}).Key())
+	return l
 }
 
 // PredictedLabelOK returns the predicted label for the edge {u,v} and
 // whether the edge exists in the result at all — the lookup form that
 // never fabricates a label for an unknown edge.
 func (r *Result) PredictedLabelOK(u, v graph.NodeID) (social.Label, bool) {
-	l, ok := r.Predictions[(graph.Edge{U: u, V: v}).Key()]
+	l, ok := r.Edges.Label((graph.Edge{U: u, V: v}).Key())
 	if !ok {
 		return social.Unlabeled, false
 	}
@@ -168,27 +186,33 @@ func (p *Pipeline) RunWithEgos(ds *social.Dataset, egos []*EgoResult, phase1 tim
 }
 
 // Combine runs Phase III on a Result whose Egos already carry classified
-// communities (Phases I+II done), filling res.Predictions and
-// res.Probabilities for every edge: TrainCombiner followed by prediction
+// communities (Phases I+II done), filling res.Edges with every edge's
+// prediction: TrainCombiner followed by prediction
 // over the full edge list. RunWithEgos calls it as its final stage;
 // benchmarks call it directly to isolate combiner cost.
 //
 // Edge prediction (predictEdges, shared with RecombineEdges) fans out over
-// GOMAXPROCS workers in contiguous edge chunks. Each worker reuses one
-// feature-vector scratch buffer and writes into disjoint ranges of
-// preallocated flat stores (one []float64 backing all probability
-// vectors), so the per-edge cost is free of allocation; the map views are
-// filled in a single serial pass afterwards.
+// GOMAXPROCS workers in contiguous edge chunks. Each worker assembles its
+// edges' features into a reused panel and runs a blocked GEMM + softmax
+// per panel, writing into disjoint ranges of preallocated flat stores (one
+// []float64 backing all probability vectors), so the per-edge cost is free
+// of allocation; the map views are filled in a single serial pass
+// afterwards. The two sub-phases are timed separately as
+// Times.CombinerTrain and Times.CombinerPredict.
 func (p *Pipeline) Combine(ds *social.Dataset, res *Result) error {
+	t0 := time.Now()
 	if err := p.TrainCombiner(ds, res); err != nil {
 		return err
 	}
+	res.Times.CombinerTrain = time.Since(t0)
+	t0 = time.Now()
 	edges := ds.G.Edges()
 	classes := p.classes(res)
 	preds := make([]social.Label, len(edges))
 	probsFlat := make([]float64, len(edges)*classes)
 	p.predictEdges(res, edges, preds, probsFlat, classes)
 	res.publish(edges, preds, probsFlat, classes)
+	res.Times.CombinerPredict = time.Since(t0)
 	return nil
 }
 
@@ -220,16 +244,11 @@ func forEachEdgeChunk(edges []graph.Edge, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// publish exposes the flat per-edge prediction stores through the public
-// map views. Every probability vector is a subslice of one backing array.
+// publish installs the flat per-edge prediction stores as the result's
+// EdgeStore. Edge enumeration order is already ascending by canonical
+// key, so this is three slice headers — no per-edge work at all.
 func (r *Result) publish(edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) {
-	r.Predictions = make(map[uint64]social.Label, len(edges))
-	r.Probabilities = make(map[uint64][]float64, len(edges))
-	for i, e := range edges {
-		k := e.Key()
-		r.Predictions[k] = preds[i]
-		r.Probabilities[k] = probsFlat[i*classes : (i+1)*classes]
-	}
+	r.Edges = newEdgeStoreFromRun(edges, preds, probsFlat, classes)
 }
 
 // Argmax returns the index of the largest value (0 for empty input).

@@ -100,26 +100,78 @@ func (p *Pipeline) classes(res *Result) int {
 	return res.Combiner.Classes
 }
 
+// predictBlockRows is the number of edges a prediction worker assembles
+// into one feature panel before running the GEMM. Large enough to amortize
+// the kernel's per-call setup, small enough that the panel (256 × 183
+// float64 ≈ 366 KB at combiner scale) stays cache-resident while the
+// softmax pass re-reads it.
+const predictBlockRows = 256
+
 // predictEdges is the shared Phase III prediction kernel: fill preds[i]
 // and probsFlat[i*classes:(i+1)*classes] for every listed edge from the
 // result's classified egos, using the trained combiner (or the
 // agreement-rule ablation). It fans out over GOMAXPROCS workers in
-// contiguous chunks; each worker reuses one feature scratch buffer and
-// writes disjoint index ranges, so the per-edge cost is allocation-free.
+// contiguous chunks; each worker assembles its edges' feature rows into a
+// reused [1, features...] panel of predictBlockRows rows and runs one GEMM
+// + row-wise softmax per panel (logreg.PredictProbaBlock) instead of a
+// GEMV per edge, writing probabilities straight into its disjoint slice of
+// probsFlat. The block path accumulates each row's logits in the same
+// order as PredictProbaInto, so predictions and probabilities are
+// bit-identical to the old per-edge loop. With cfg.Float32Inference the
+// panel and weights narrow to float32 (inference-only tolerance, ≲1e-5
+// probability drift).
 func (p *Pipeline) predictEdges(res *Result, edges []graph.Edge, preds []social.Label, probsFlat []float64, classes int) {
 	if p.cfg.AgreementRule {
 		p.predictEdgesByAgreement(res, edges, preds, probsFlat, classes)
 		return
 	}
 	lr := res.Combiner
+	fw := lr.BiasFirstLen()
+	if p.cfg.Float32Inference {
+		wb := lr.BiasFirst32(nil)
+		forEachEdgeChunk(edges, func(lo, hi int) {
+			xb := make([]float64, 0, predictBlockRows*fw)
+			xb32 := make([]float32, predictBlockRows*fw)
+			for b0 := lo; b0 < hi; b0 += predictBlockRows {
+				b1 := b0 + predictBlockRows
+				if b1 > hi {
+					b1 = hi
+				}
+				xb = xb[:0]
+				for i := b0; i < b1; i++ {
+					e := edges[i]
+					xb = append(xb, 1)
+					xb = AppendEdgeFeatures(xb, res.Egos, e.U, e.V)
+				}
+				for i, v := range xb {
+					xb32[i] = float32(v)
+				}
+				lr.PredictProbaBlock32(wb, xb32[:len(xb)], b1-b0, probsFlat[b0*classes:b1*classes])
+				for i := b0; i < b1; i++ {
+					preds[i] = social.Label(Argmax(probsFlat[i*classes : (i+1)*classes]))
+				}
+			}
+		})
+		return
+	}
+	wb := lr.BiasFirst(nil)
 	forEachEdgeChunk(edges, func(lo, hi int) {
-		feat := make([]float64, 0, lr.Features)
-		for i := lo; i < hi; i++ {
-			e := edges[i]
-			feat = AppendEdgeFeatures(feat[:0], res.Egos, e.U, e.V)
-			out := probsFlat[i*classes : (i+1)*classes]
-			lr.PredictProbaInto(feat, out)
-			preds[i] = social.Label(Argmax(out))
+		xb := make([]float64, 0, predictBlockRows*fw)
+		for b0 := lo; b0 < hi; b0 += predictBlockRows {
+			b1 := b0 + predictBlockRows
+			if b1 > hi {
+				b1 = hi
+			}
+			xb = xb[:0]
+			for i := b0; i < b1; i++ {
+				e := edges[i]
+				xb = append(xb, 1)
+				xb = AppendEdgeFeatures(xb, res.Egos, e.U, e.V)
+			}
+			lr.PredictProbaBlock(wb, xb, b1-b0, probsFlat[b0*classes:b1*classes])
+			for i := b0; i < b1; i++ {
+				preds[i] = social.Label(Argmax(probsFlat[i*classes : (i+1)*classes]))
+			}
 		}
 	})
 }
@@ -157,15 +209,13 @@ func (p *Pipeline) predictEdgesByAgreement(res *Result, edges []graph.Edge, pred
 
 // RecombineEdges is the Phase III re-prediction stage: recompute the
 // prediction and probability vector of just the listed edges with the
-// already-trained combiner, merging the fresh values into res.Predictions
-// and res.Probabilities (other edges keep their entries). An edge feature
-// reads only the two endpoints' ego results, so after a mutation batch the
-// edges incident to the dirty node set are exactly the ones whose
-// prediction can change.
+// already-trained combiner, merging the fresh values into res.Edges
+// (other edges keep their entries). An edge feature reads only the two
+// endpoints' ego results, so after a mutation batch the edges incident to
+// the dirty node set are exactly the ones whose prediction can change.
 //
-// The fresh probability vectors are subslices of a new backing array —
-// existing vectors (possibly shared with a published snapshot) are never
-// written in place.
+// The merge builds a new store in one linear pass — the previous store
+// (possibly shared with a published snapshot) is never written in place.
 func (p *Pipeline) RecombineEdges(res *Result, edges []graph.Edge) error {
 	if len(edges) == 0 {
 		return nil
@@ -177,19 +227,8 @@ func (p *Pipeline) RecombineEdges(res *Result, edges []graph.Edge) error {
 	preds := make([]social.Label, len(edges))
 	probsFlat := make([]float64, len(edges)*classes)
 	p.predictEdges(res, edges, preds, probsFlat, classes)
-	if res.Predictions == nil {
-		res.Predictions = make(map[uint64]social.Label, len(edges))
-	}
-	if res.Probabilities == nil {
-		res.Probabilities = make(map[uint64][]float64, len(edges))
-	}
-	// Workers never touch the maps: predictEdges fills the flat stores in
-	// parallel and this single serial pass publishes them.
-	for i, e := range edges {
-		k := e.Key()
-		res.Predictions[k] = preds[i]
-		res.Probabilities[k] = probsFlat[i*classes : (i+1)*classes]
-	}
+	fresh := newEdgeStoreFromRun(edges, preds, probsFlat, classes)
+	res.Edges = res.Edges.merged(fresh)
 	return nil
 }
 

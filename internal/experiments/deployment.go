@@ -48,7 +48,7 @@ func Fig13(opt Options) (*Fig13Result, error) {
 	for c := range res.CommunityPct {
 		res.CommunityPct[c] /= float64(res.Communities)
 	}
-	for _, l := range cnn.Result().Predictions {
+	for _, l := range cnn.Result().Edges.Labels() {
 		res.RelationshipPct[l]++
 		res.Edges++
 	}
@@ -97,7 +97,7 @@ func Fig14(opt Options) (*Fig14Result, error) {
 	if err := cnn.Fit(net.Dataset); err != nil {
 		return nil, err
 	}
-	sim := ads.NewSimulator(net.Dataset, cnn.Result().Predictions, opt.Seed+5)
+	sim := ads.NewSimulator(net.Dataset, cnn.Result().Edges.LabelMap(), opt.Seed+5)
 	res := &Fig14Result{Outcomes: map[string]map[string]ads.Outcome{}}
 	seeds := opt.Users / 8
 	audience := opt.Users / 3

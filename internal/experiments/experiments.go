@@ -135,7 +135,7 @@ func (a *locecAdapter) Fit(ds *social.Dataset) error {
 func (a *locecAdapter) PredictEdges(_ *social.Dataset, keys []uint64) []social.Label {
 	out := make([]social.Label, len(keys))
 	for i, k := range keys {
-		if l, ok := a.res.Predictions[k]; ok {
+		if l, ok := a.res.Edges.Label(k); ok {
 			out[i] = l
 		} else {
 			out[i] = social.Unlabeled

@@ -216,7 +216,7 @@ func TestWorkerCountBitIdentity(t *testing.T) {
 	X, y := randomFixture(rng, 1200, 6, 3)
 	base := Config{Classes: 3, Rounds: 4, MaxDepth: 5, Subsample: 0.9, Seed: 17}
 	var want []byte
-	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0), 10 * runtime.GOMAXPROCS(0)} {
 		cfg := base
 		cfg.Workers = workers
 		m, err := Train(clone2D(X), y, cfg)
@@ -232,6 +232,35 @@ func TestWorkerCountBitIdentity(t *testing.T) {
 			t.Fatalf("workers=%d produced different trees than workers=1", workers)
 		}
 	}
+}
+
+// TestWorkersClampedToGOMAXPROCS pins that an oversized Workers value
+// costs no more than the clamped one: the trainer must not spawn more
+// goroutines (or per-worker histogram scratch) than GOMAXPROCS — extra
+// workers past the core count only add channel round-trips and memory.
+func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, _ := randomFixture(rng, 64, 4, 2)
+	maxp := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{0, maxp, maxp + 1, 1 << 16} {
+		tr := newTrainer(clone2D(X), Config{Classes: 2, Workers: workers}, 4)
+		if tr.workers > maxp {
+			t.Fatalf("Workers=%d: trainer kept %d workers, want <= GOMAXPROCS=%d", workers, tr.workers, maxp)
+		}
+		if len(tr.hists) != tr.workers {
+			t.Fatalf("Workers=%d: %d histogram scratches for %d workers", workers, len(tr.hists), tr.workers)
+		}
+		if tr.work != nil && len(tr.work) != tr.workers {
+			t.Fatalf("Workers=%d: %d worker channels for %d workers", workers, len(tr.work), tr.workers)
+		}
+		tr.close()
+	}
+	// An in-range value must be honored, not rounded up.
+	tr := newTrainer(clone2D(X), Config{Classes: 2, Workers: 1}, 4)
+	if tr.workers != 1 {
+		t.Fatalf("Workers=1 resolved to %d", tr.workers)
+	}
+	tr.close()
 }
 
 // TestWorkersExcludedFromSerialization pins that Workers is a pure speed

@@ -40,11 +40,13 @@ type Config struct {
 	Classes        int     // number of classes (required, >= 2)
 	Seed           int64   // drives subsampling
 
-	// Workers bounds split-finding parallelism (0 = GOMAXPROCS). Any
-	// value produces bit-identical trees — per-feature histograms are
-	// each built by one worker in row order and candidates merge in
-	// column order — so it is a pure speed knob and is deliberately
-	// excluded from the serialized model.
+	// Workers bounds split-finding parallelism (0 = GOMAXPROCS; values
+	// above GOMAXPROCS are clamped down to it — extra goroutines past
+	// the core count only add channel round-trips). Any value produces
+	// bit-identical trees — per-feature histograms are each built by
+	// one worker in row order and candidates merge in column order —
+	// so it is a pure speed knob and is deliberately excluded from the
+	// serialized model.
 	Workers int `json:"-"`
 }
 
@@ -270,7 +272,7 @@ const parallelSplitMinRows = 512
 
 func newTrainer(X [][]float64, cfg Config, nf int) *trainer {
 	workers := cfg.Workers
-	if workers <= 0 {
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	t := &trainer{

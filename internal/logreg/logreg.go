@@ -45,6 +45,20 @@ type Model struct {
 }
 
 // Train fits the model with mini-batch SGD on the softmax cross-entropy.
+//
+// The whole training set is flattened once into an arena of [1,
+// features...] rows; each shuffled mini-batch gathers its rows from the
+// arena through the tensor GEMM kernels: logits are one
+// MatMulABTAccGather against the bias-first weight matrix, gradients one
+// MatMulATBGatherB of the (softmax − one-hot) residuals against the
+// batch, each preceded by a serial warm pass over the batch's arena rows
+// (rationale at the pass itself). Per dst element both kernels
+// accumulate in exactly the order the retained scalar oracle uses — bias first then ascending
+// features for logits, shuffled-row order for gradients — so Train and
+// trainReference produce bit-identical weights (pinned by
+// logreg_equiv_test.go). The bias column leads rather than trails here
+// because the scalar logits sum starts from the bias; the public W keeps
+// its bias-last layout via a final copy.
 func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 	cfg.defaults()
 	if cfg.Classes < 2 {
@@ -59,14 +73,26 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("logreg: label %d out of range at row %d", l, i)
 		}
 	}
-	m := &Model{Classes: cfg.Classes, Features: nf, W: make([]float64, cfg.Classes*(nf+1))}
+	classes := cfg.Classes
+	fw := nf + 1 // row width with the leading bias column
+	m := &Model{Classes: classes, Features: nf, W: make([]float64, classes*fw)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
 	}
-	grads := make([]float64, len(m.W))
-	probs := make([]float64, cfg.Classes)
+	wb := make([]float64, classes*fw) // bias-first training weights
+	grads := make([]float64, classes*fw)
+	// Flatten X once into an arena of [1, features...] rows in original
+	// order so each epoch streams one contiguous block instead of chasing
+	// per-row slice headers.
+	arena := make([]float64, len(X)*fw)
+	for i, x := range X {
+		row := arena[i*fw : (i+1)*fw]
+		row[0] = 1
+		copy(row[1:], x)
+	}
+	z := make([]float64, cfg.BatchSize*classes)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += cfg.BatchSize {
@@ -74,32 +100,55 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			for i := range grads {
-				grads[i] = 0
-			}
-			for _, i := range idx[start:end] {
-				m.logits(X[i], probs)
-				tensor.Softmax(probs, probs)
-				for c := 0; c < cfg.Classes; c++ {
-					g := probs[c]
-					if y[i] == c {
-						g -= 1
-					}
-					base := c * (nf + 1)
-					for f, v := range X[i] {
-						grads[base+f] += g * v
-					}
-					grads[base+nf] += g // bias
+			bs := end - start
+			batch := idx[start:end]
+			// A shuffled epoch visits every arena row in random order,
+			// so the batch panel starts cold no matter how it is read,
+			// and the GEMM's two-row streams would serialize on those
+			// misses. The warm pass touches one element per cache line
+			// across ALL the batch's rows first — independent loads the
+			// core keeps many in flight at a time — so the gather-fused
+			// kernels then run against warm lines (measured ~1.6× on the
+			// combiner shape versus letting the kernels fault the rows
+			// in; interleaving these loads INTO the kernel measured
+			// slower — the outstanding misses starve the compute's own
+			// cache traffic of fill buffers).
+			warm := 0.0
+			for _, i := range batch {
+				row := arena[i*fw : (i+1)*fw]
+				for j := 0; j < fw; j += 8 {
+					warm += row[j]
 				}
 			}
-			scale := cfg.LR / float64(end-start)
-			for i := range m.W {
-				m.W[i] -= scale*grads[i] + cfg.LR*cfg.L2*m.W[i]
+			gatherSink = warm
+			zb := z[:bs*classes]
+			for i := range zb {
+				zb[i] = 0
+			}
+			tensor.MatMulABTAccGather(zb, arena, batch, wb, classes, fw)
+			for r := 0; r < bs; r++ {
+				zr := zb[r*classes : (r+1)*classes]
+				tensor.Softmax(zr, zr)
+				zr[y[batch[r]]] -= 1
+			}
+			tensor.MatMulATBGatherB(grads, zb, arena, batch, classes, fw)
+			scale := cfg.LR / float64(bs)
+			for i, g := range grads {
+				wb[i] -= scale*g + cfg.LR*cfg.L2*wb[i]
 			}
 		}
 	}
+	// Publish in the bias-last layout the rest of the system expects.
+	for c := 0; c < classes; c++ {
+		copy(m.W[c*fw:c*fw+nf], wb[c*fw+1:(c+1)*fw])
+		m.W[c*fw+nf] = wb[c*fw]
+	}
 	return m, nil
 }
+
+// gatherSink keeps the warm-pass loads in Train observable so the
+// compiler cannot delete them.
+var gatherSink float64
 
 // logits writes raw class scores for x into out.
 func (m *Model) logits(x []float64, out []float64) {

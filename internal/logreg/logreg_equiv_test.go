@@ -1,0 +1,175 @@
+package logreg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseRows builds an nf-wide training set shaped like the Phase III
+// combiner's (two tightness scalars + two GBDT leaf-value embeddings).
+func denseRows(n, nf, classes int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, nf)
+		for d := range row {
+			row[d] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = rng.Intn(classes)
+	}
+	return X, y
+}
+
+// TestTrainMatchesReferenceExactly pins the GEMM-batched Train to the
+// retained scalar oracle with exact == on every weight: the batched
+// kernels preserve the scalar loop's per-element accumulation order, so
+// agreement is bit-for-bit, not merely within tolerance. Cases sweep the
+// class counts (3 hits the dedicated skinny kernels, 2 and 4 the generic
+// paths), batch sizes that do and do not divide the row count, and L2 on
+// and off.
+func TestTrainMatchesReferenceExactly(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		nf   int
+		cfg  Config
+	}{
+		{"combiner-shape", 257, 18, Config{Classes: 3, Epochs: 7, Seed: 1}},
+		{"ragged-batch", 101, 9, Config{Classes: 3, Epochs: 5, BatchSize: 7, Seed: 2}},
+		{"two-classes", 96, 5, Config{Classes: 2, Epochs: 6, Seed: 3}},
+		{"four-classes", 128, 11, Config{Classes: 4, Epochs: 4, BatchSize: 16, Seed: 4}},
+		{"no-l2", 64, 6, Config{Classes: 3, Epochs: 8, BatchSize: 5, LR: 0.3, Seed: 5}},
+		{"heavy-l2", 80, 7, Config{Classes: 3, Epochs: 8, L2: 0.01, Seed: 6}},
+		{"single-row-batches", 23, 4, Config{Classes: 3, Epochs: 3, BatchSize: 1, Seed: 7}},
+		{"one-big-batch", 40, 8, Config{Classes: 3, Epochs: 5, BatchSize: 1000, Seed: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.L2 == 0 && tc.name != "no-l2" {
+				tc.cfg.L2 = 1e-4
+			}
+			X, y := denseRows(tc.n, tc.nf, tc.cfg.Classes, tc.cfg.Seed+100)
+			got, err := Train(X, y, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := trainReference(X, y, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Classes != want.Classes || got.Features != want.Features {
+				t.Fatalf("shape mismatch: got (%d,%d), want (%d,%d)",
+					got.Classes, got.Features, want.Classes, want.Features)
+			}
+			for i := range want.W {
+				if got.W[i] != want.W[i] {
+					t.Fatalf("W[%d]: batched %v != reference %v", i, got.W[i], want.W[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTrainReferenceRejectsSameInputs keeps the oracle's validation in
+// lockstep with Train's.
+func TestTrainReferenceRejectsSameInputs(t *testing.T) {
+	if _, err := trainReference(nil, nil, Config{Classes: 2}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := trainReference([][]float64{{1}}, []int{0}, Config{Classes: 1}); err == nil {
+		t.Fatal("Classes=1 accepted")
+	}
+	if _, err := trainReference([][]float64{{1}}, []int{3}, Config{Classes: 2}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+// TestPredictProbaBlockMatchesInto pins the block predictor to the
+// per-row path with exact ==.
+func TestPredictProbaBlockMatchesInto(t *testing.T) {
+	X, y := denseRows(300, 17, 3, 42)
+	m, err := Train(X, y, Config{Classes: 3, Epochs: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := m.BiasFirstLen()
+	wb := m.BiasFirst(nil)
+	rows := len(X)
+	xb := make([]float64, rows*fw)
+	for r, x := range X {
+		xb[r*fw] = 1
+		copy(xb[r*fw+1:(r+1)*fw], x)
+	}
+	out := make([]float64, rows*m.Classes)
+	m.PredictProbaBlock(wb, xb, rows, out)
+	probs := make([]float64, m.Classes)
+	for r, x := range X {
+		m.PredictProbaInto(x, probs)
+		for c, p := range probs {
+			if got := out[r*m.Classes+c]; got != p {
+				t.Fatalf("row %d class %d: block %v != per-row %v", r, c, got, p)
+			}
+		}
+	}
+}
+
+// TestPredictProbaBlock32Bound pins the float32 inference path to the
+// float64 probabilities within an absolute tolerance.
+func TestPredictProbaBlock32Bound(t *testing.T) {
+	X, y := denseRows(300, 17, 3, 43)
+	m, err := Train(X, y, Config{Classes: 3, Epochs: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := m.BiasFirstLen()
+	rows := len(X)
+	wb64 := m.BiasFirst(nil)
+	xb64 := make([]float64, rows*fw)
+	for r, x := range X {
+		xb64[r*fw] = 1
+		copy(xb64[r*fw+1:(r+1)*fw], x)
+	}
+	wb32 := m.BiasFirst32(nil)
+	xb32 := make([]float32, rows*fw)
+	for i, v := range xb64 {
+		xb32[i] = float32(v)
+	}
+	want := make([]float64, rows*m.Classes)
+	got := make([]float64, rows*m.Classes)
+	m.PredictProbaBlock(wb64, xb64, rows, want)
+	m.PredictProbaBlock32(wb32, xb32, rows, got)
+	const tol = 1e-5
+	for i := range want {
+		if d := got[i] - want[i]; d > tol || d < -tol {
+			t.Fatalf("prob %d: float32 %v vs float64 %v (|Δ| > %g)", i, got[i], want[i], tol)
+		}
+	}
+}
+
+// BenchmarkTrainCombinerShape measures Train at the real Phase III shape
+// (≈37k labeled edges × 182 features × 3 classes). Five epochs rather
+// than one so the per-call arena build amortizes the way the real
+// 100-epoch run does; divide by five for the steady-state epoch cost.
+func BenchmarkTrainCombinerShape(b *testing.B) {
+	X, y := denseRows(36726, 182, 3, 99)
+	cfg := Config{Classes: 3, Epochs: 5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainReferenceCombinerShape(b *testing.B) {
+	X, y := denseRows(36726, 182, 3, 99)
+	cfg := Config{Classes: 3, Epochs: 5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainReference(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package logreg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locec/internal/tensor"
+)
+
+// trainReference is the original row-at-a-time scalar trainer, retained
+// verbatim as the equivalence oracle for the GEMM-batched Train. The two
+// produce bit-identical weights: Train assembles each mini-batch into a
+// flat matrix but preserves this loop's per-element accumulation order
+// (logits sum the bias first and then features in ascending order; each
+// gradient cell sums its batch rows in shuffled-index order), and both
+// consume the seeded RNG only for the per-epoch shuffle. The equivalence
+// test in logreg_equiv_test.go pins that contract with exact ==.
+func trainReference(X [][]float64, y []int, cfg Config) (*Model, error) {
+	cfg.defaults()
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("logreg: Classes must be >= 2, got %d", cfg.Classes)
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("logreg: bad training set (%d rows, %d labels)", len(X), len(y))
+	}
+	nf := len(X[0])
+	for i, l := range y {
+		if l < 0 || l >= cfg.Classes {
+			return nil, fmt.Errorf("logreg: label %d out of range at row %d", l, i)
+		}
+	}
+	m := &Model{Classes: cfg.Classes, Features: nf, W: make([]float64, cfg.Classes*(nf+1))}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	grads := make([]float64, len(m.W))
+	probs := make([]float64, cfg.Classes)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for i := range grads {
+				grads[i] = 0
+			}
+			for _, i := range idx[start:end] {
+				m.logits(X[i], probs)
+				tensor.Softmax(probs, probs)
+				for c := 0; c < cfg.Classes; c++ {
+					g := probs[c]
+					if y[i] == c {
+						g -= 1
+					}
+					base := c * (nf + 1)
+					for f, v := range X[i] {
+						grads[base+f] += g * v
+					}
+					grads[base+nf] += g // bias
+				}
+			}
+			scale := cfg.LR / float64(end-start)
+			for i := range m.W {
+				m.W[i] -= scale*grads[i] + cfg.LR*cfg.L2*m.W[i]
+			}
+		}
+	}
+	return m, nil
+}

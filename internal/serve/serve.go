@@ -184,11 +184,12 @@ func (s *snapshot) ownsEdge(u, v graph.NodeID) bool {
 // guarantees an unknown edge can never surface a fabricated zero-value
 // label.
 func (s *snapshot) label(u, v graph.NodeID) (social.Label, []float64, bool) {
-	label, ok := s.res.PredictedLabelOK(u, v)
+	st := s.res.Edges
+	i, ok := st.Find((graph.Edge{U: u, V: v}).Key())
 	if !ok {
 		return social.Unlabeled, nil, false
 	}
-	return label, s.res.Probabilities[(graph.Edge{U: u, V: v}).Key()], true
+	return st.LabelAt(i), st.ProbsAt(i), true
 }
 
 // Server is the classification service. Create with New, mount Handler on

@@ -599,3 +599,52 @@ func TestNewArtifactMissingFile(t *testing.T) {
 		t.Fatal("expected error for missing artifact file")
 	}
 }
+
+// TestEdgeResponsesMatchMapOracle pins /v1/edge byte-identity against the
+// map-shaped representation Result used to carry: for every stored edge,
+// the raw HTTP body must equal an edgeResult marshaled from plain
+// key→label / key→probs maps. A store lookup bug (wrong index, off-by-one
+// in the flat probability slicing) changes the served bytes and fails here.
+func TestEdgeResponsesMatchMapOracle(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st := s.current().res.Edges
+	labelByKey := st.LabelMap()
+	probsByKey := make(map[uint64][]float64, st.Len())
+	for i, k := range st.Keys() {
+		probsByKey[k] = st.ProbsAt(i)
+	}
+	if len(labelByKey) == 0 {
+		t.Fatal("no predicted edges")
+	}
+	for k := range labelByKey {
+		e := graph.EdgeFromKey(k)
+		resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/edge?u=%d&v=%d", ts.URL, e.U, e.V))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("edge {%d,%d}: status %d", e.U, e.V, resp.StatusCode)
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(edgeResult{
+			U:     uint32(e.U),
+			V:     uint32(e.V),
+			Found: true,
+			Label: labelByKey[k].String(),
+			Probs: newProbsDoc(probsByKey[k]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want.Bytes()) {
+			t.Fatalf("edge {%d,%d}: body %q != map-oracle %q", e.U, e.V, body, want.Bytes())
+		}
+	}
+}

@@ -129,25 +129,25 @@ func assertStateEqual(t *testing.T, got, want *snapshot, tol float64, context st
 		t.Fatalf("%s: graph shape %d/%d, want %d/%d", context,
 			got.ds.G.NumNodes(), got.ds.G.NumEdges(), want.ds.G.NumNodes(), want.ds.G.NumEdges())
 	}
-	if len(got.res.Predictions) != len(want.res.Predictions) {
-		t.Fatalf("%s: %d predictions, want %d", context, len(got.res.Predictions), len(want.res.Predictions))
+	if got.res.Edges.Len() != want.res.Edges.Len() {
+		t.Fatalf("%s: %d predictions, want %d", context, got.res.Edges.Len(), want.res.Edges.Len())
 	}
-	for k, w := range want.res.Predictions {
-		if g, ok := got.res.Predictions[k]; !ok || g != w {
+	for i, k := range want.res.Edges.Keys() {
+		w := want.res.Edges.LabelAt(i)
+		if g, ok := got.res.Edges.Label(k); !ok || g != w {
 			e := graph.EdgeFromKey(k)
 			t.Fatalf("%s: edge {%d,%d} predicted %v, want %v", context, e.U, e.V, g, w)
 		}
-	}
-	for k, wp := range want.res.Probabilities {
-		gp, ok := got.res.Probabilities[k]
-		if !ok || len(gp) != len(wp) {
+		wp := want.res.Edges.ProbsAt(i)
+		gp := got.res.Edges.Probs(k)
+		if len(gp) != len(wp) {
 			t.Fatalf("%s: edge %d probability vector missing or misshapen", context, k)
 		}
-		for i := range wp {
-			if math.Abs(gp[i]-wp[i]) > tol {
+		for c := range wp {
+			if math.Abs(gp[c]-wp[c]) > tol {
 				e := graph.EdgeFromKey(k)
 				t.Fatalf("%s: edge {%d,%d} class %d: %.17g vs %.17g (tol %g)",
-					context, e.U, e.V, i, gp[i], wp[i], tol)
+					context, e.U, e.V, c, gp[c], wp[c], tol)
 			}
 		}
 	}

@@ -103,6 +103,15 @@ func matMulAcc(dst, a, b []float64, m, k, n int) {
 
 // matMulAccRows is the serial kernel restricted to dst rows [i0, i1).
 func matMulAccRows(dst, a, b []float64, i0, i1, k, n int) {
+	if n <= 4 {
+		// Skinny destinations (n ≤ 4 — the softmax-regression logit shape:
+		// n = class count) keep each dst row in registers across the whole
+		// k loop instead of re-loading and re-storing ci[j] every kk. Each
+		// dst element still accumulates its terms in ascending-kk order, so
+		// the result is identical to the blocked path below.
+		matMulAccRowsSkinny(dst, a, b, i0, i1, k, n)
+		return
+	}
 	for k0 := 0; k0 < k; k0 += gemmBlockK {
 		k1 := min(k0+gemmBlockK, k)
 		for j0 := 0; j0 < n; j0 += gemmBlockJ {
@@ -122,6 +131,93 @@ func matMulAccRows(dst, a, b []float64, i0, i1, k, n int) {
 				}
 			}
 		}
+	}
+}
+
+// matMulAccRowsSkinny handles n ≤ 4 with per-row register accumulators.
+// Rows are processed in pairs so the streamed B row is loaded once for
+// two A rows; within a row, dst[i*n+j] accumulates a[i*k+kk]*b[kk*n+j]
+// over ascending kk — exactly the blocked kernel's per-element order, so
+// the two paths agree bit for bit.
+func matMulAccRowsSkinny(dst, a, b []float64, i0, i1, k, n int) {
+	switch n {
+	case 3:
+		matMulAccRows3(dst, a, b, i0, i1, k)
+		return
+	case 1:
+		for i := i0; i < i1; i++ {
+			ai := a[i*k : (i+1)*k]
+			s := dst[i]
+			for kk, av := range ai {
+				s += av * b[kk]
+			}
+			dst[i] = s
+		}
+		return
+	}
+	for i := i0; i < i1; i++ {
+		ai := a[i*k : (i+1)*k]
+		var s0, s1, s2, s3 float64
+		di := dst[i*n : (i+1)*n]
+		s0, s1 = di[0], di[1]
+		if n == 4 {
+			s2, s3 = di[2], di[3]
+		}
+		for kk, av := range ai {
+			bk := b[kk*n : kk*n+n]
+			s0 += av * bk[0]
+			s1 += av * bk[1]
+			if n == 4 {
+				s2 += av * bk[2]
+				s3 += av * bk[3]
+			}
+		}
+		di[0], di[1] = s0, s1
+		if n == 4 {
+			di[2], di[3] = s2, s3
+		}
+	}
+}
+
+// matMulAccRows3 is the n = 3 kernel (social.NumLabels classes — the
+// Phase III combiner's logit shape): two rows per pass share one read of
+// each B row, six independent accumulator chains hide the FP add latency.
+func matMulAccRows3(dst, a, b []float64, i0, i1, k int) {
+	b3 := b[: k*3 : k*3]
+	i := i0
+	for ; i+1 < i1; i += 2 {
+		a0 := a[i*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		d0 := dst[i*3 : i*3+3 : i*3+3]
+		d1 := dst[(i+1)*3 : (i+1)*3+3 : (i+1)*3+3]
+		s00, s01, s02 := d0[0], d0[1], d0[2]
+		s10, s11, s12 := d1[0], d1[1], d1[2]
+		for kk := 0; kk < k; kk++ {
+			bk := b3[kk*3 : kk*3+3 : kk*3+3]
+			b0, b1, b2 := bk[0], bk[1], bk[2]
+			av0, av1 := a0[kk], a1[kk]
+			s00 += av0 * b0
+			s01 += av0 * b1
+			s02 += av0 * b2
+			s10 += av1 * b0
+			s11 += av1 * b1
+			s12 += av1 * b2
+		}
+		d0[0], d0[1], d0[2] = s00, s01, s02
+		d1[0], d1[1], d1[2] = s10, s11, s12
+	}
+	for ; i < i1; i++ {
+		a0 := a[i*k : (i+1)*k]
+		d0 := dst[i*3 : i*3+3 : i*3+3]
+		s0, s1, s2 := d0[0], d0[1], d0[2]
+		for kk := 0; kk < k; kk++ {
+			bk := b3[kk*3 : kk*3+3 : kk*3+3]
+			av := a0[kk]
+			s0 += av * bk[0]
+			s1 += av * bk[1]
+			s2 += av * bk[2]
+		}
+		d0[0], d0[1], d0[2] = s0, s1, s2
 	}
 }
 
@@ -156,6 +252,26 @@ func MatMulATB(dst, a, b []float64, m, k, n int) {
 				}
 			}
 		})
+		return
+	}
+	if k == 3 {
+		// Three output rows (the combiner-gradient shape: k = class
+		// count) are hoisted out of the i loop and each streamed B row is
+		// read once for all three. Per dst element the accumulation still
+		// runs over ascending i — identical to the generic loop below.
+		c0 := dst[0:n:n]
+		c1 := dst[n : 2*n : 2*n]
+		c2 := dst[2*n : 3*n : 3*n]
+		for i := 0; i < m; i++ {
+			ai := a[i*3 : i*3+3 : i*3+3]
+			av0, av1, av2 := ai[0], ai[1], ai[2]
+			bi := b[i*n : (i+1)*n]
+			for j, bv := range bi {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+			}
+		}
 		return
 	}
 	for i := 0; i < m; i++ {
@@ -193,6 +309,10 @@ func MatMulABTAcc(dst, a, b []float64, m, n, p int) {
 // matMulABTAccRows is the dot-product kernel restricted to dst rows
 // [i0, i1); each element is one independent dot product.
 func matMulABTAccRows(dst, a, b []float64, i0, i1, n, p int) {
+	if n == 3 {
+		matMulABTAccRows3(dst, a, b, i0, i1, p)
+		return
+	}
 	for i := i0; i < i1; i++ {
 		ai := a[i*p : (i+1)*p]
 		di := dst[i*n : (i+1)*n]
@@ -203,6 +323,195 @@ func matMulABTAccRows(dst, a, b []float64, i0, i1, n, p int) {
 				s += av * bj[t]
 			}
 			di[j] += s
+		}
+	}
+}
+
+// matMulABTAccRows3 is the n = 3 dot-product kernel (the batched-logit
+// shape: three classes against a panel of feature rows). All three b rows
+// stay hot in L1; a rows are processed in pairs so each loaded a element
+// feeds three accumulators and the six independent chains hide the FP add
+// latency. Each dst element is still one dot product summed over
+// ascending t, so the result matches the generic loop bit for bit.
+func matMulABTAccRows3(dst, a, b []float64, i0, i1, p int) {
+	b0 := b[0:p:p]
+	b1 := b[p : 2*p : 2*p]
+	b2 := b[2*p : 3*p : 3*p]
+	i := i0
+	for ; i+1 < i1; i += 2 {
+		a0 := a[i*p : (i+1)*p]
+		a1 := a[(i+1)*p : (i+2)*p : (i+2)*p]
+		var s00, s01, s02, s10, s11, s12 float64
+		for t, av0 := range a0 {
+			av1 := a1[t]
+			w0, w1, w2 := b0[t], b1[t], b2[t]
+			s00 += av0 * w0
+			s01 += av0 * w1
+			s02 += av0 * w2
+			s10 += av1 * w0
+			s11 += av1 * w1
+			s12 += av1 * w2
+		}
+		d0 := dst[i*3 : i*3+3 : i*3+3]
+		d1 := dst[(i+1)*3 : (i+1)*3+3 : (i+1)*3+3]
+		d0[0] += s00
+		d0[1] += s01
+		d0[2] += s02
+		d1[0] += s10
+		d1[1] += s11
+		d1[2] += s12
+	}
+	for ; i < i1; i++ {
+		a0 := a[i*p : (i+1)*p]
+		var s0, s1, s2 float64
+		for t, av := range a0 {
+			s0 += av * b0[t]
+			s1 += av * b1[t]
+			s2 += av * b2[t]
+		}
+		d0 := dst[i*3 : i*3+3 : i*3+3]
+		d0[0] += s0
+		d0[1] += s1
+		d0[2] += s2
+	}
+}
+
+// MatMulABTAccGather computes dst += A·bᵀ like MatMulABTAcc, except A is
+// not materialized: row r of the m×p A is arena[rows[r]*p : rows[r]*p+p].
+// Mini-batch SGD visits rows in shuffled order, so copying them into a
+// dense panel first costs a miss-bound pass over the whole training set
+// every epoch; fusing the gather lets the kernel's own streams absorb
+// those misses. Per dst element the accumulation order is identical to
+// MatMulABTAcc on the equivalent packed panel.
+func MatMulABTAccGather(dst, arena []float64, rows []int, b []float64, n, p int) {
+	m := len(rows)
+	if len(dst) < m*n || len(b) < n*p {
+		panic("tensor: MatMulABTAccGather dimension mismatch")
+	}
+	if n == 3 {
+		b0 := b[0:p:p]
+		b1 := b[p : 2*p : 2*p]
+		b2 := b[2*p : 3*p : 3*p]
+		r := 0
+		for ; r+1 < m; r += 2 {
+			a0 := arena[rows[r]*p : rows[r]*p+p : rows[r]*p+p]
+			a1 := arena[rows[r+1]*p : rows[r+1]*p+p : rows[r+1]*p+p]
+			var s00, s01, s02, s10, s11, s12 float64
+			for t, av0 := range a0 {
+				av1 := a1[t]
+				w0, w1, w2 := b0[t], b1[t], b2[t]
+				s00 += av0 * w0
+				s01 += av0 * w1
+				s02 += av0 * w2
+				s10 += av1 * w0
+				s11 += av1 * w1
+				s12 += av1 * w2
+			}
+			d0 := dst[r*3 : r*3+3 : r*3+3]
+			d1 := dst[(r+1)*3 : (r+1)*3+3 : (r+1)*3+3]
+			d0[0] += s00
+			d0[1] += s01
+			d0[2] += s02
+			d1[0] += s10
+			d1[1] += s11
+			d1[2] += s12
+		}
+		for ; r < m; r++ {
+			a0 := arena[rows[r]*p : rows[r]*p+p : rows[r]*p+p]
+			var s0, s1, s2 float64
+			for t, av := range a0 {
+				s0 += av * b0[t]
+				s1 += av * b1[t]
+				s2 += av * b2[t]
+			}
+			d0 := dst[r*3 : r*3+3 : r*3+3]
+			d0[0] += s0
+			d0[1] += s1
+			d0[2] += s2
+		}
+		return
+	}
+	for r := 0; r < m; r++ {
+		ai := arena[rows[r]*p : rows[r]*p+p]
+		di := dst[r*n : (r+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*p : (j+1)*p]
+			s := 0.0
+			for t, av := range ai {
+				s += av * bj[t]
+			}
+			di[j] += s
+		}
+	}
+}
+
+// MatMulATBGatherB computes dst = aᵀ·B like MatMulATB, except the m×n B
+// is gathered: row i is arena[rows[i]*n : rows[i]*n+n]. a is m×k packed.
+// Per dst element the terms accumulate over ascending i, matching
+// MatMulATB on the equivalent packed panel bit for bit.
+func MatMulATBGatherB(dst, a, arena []float64, rows []int, k, n int) {
+	m := len(rows)
+	if len(dst) < k*n || len(a) < m*k {
+		panic("tensor: MatMulATBGatherB dimension mismatch")
+	}
+	for i := range dst[:k*n] {
+		dst[i] = 0
+	}
+	if k == 3 {
+		// Rows are folded in in pairs: each dst element is loaded and
+		// stored once per pair instead of once per row, with the pair's
+		// two terms added sequentially — still ascending-i order per
+		// element, so the result matches the one-row-at-a-time loop bit
+		// for bit.
+		c0 := dst[0:n:n]
+		c1 := dst[n : 2*n : 2*n]
+		c2 := dst[2*n : 3*n : 3*n]
+		i := 0
+		for ; i+1 < m; i += 2 {
+			ai := a[i*3 : i*3+6 : i*3+6]
+			a00, a01, a02 := ai[0], ai[1], ai[2]
+			a10, a11, a12 := ai[3], ai[4], ai[5]
+			b0 := arena[rows[i]*n : rows[i]*n+n : rows[i]*n+n]
+			b1 := arena[rows[i+1]*n : rows[i+1]*n+n : rows[i+1]*n+n]
+			for j, bv0 := range b0 {
+				bv1 := b1[j]
+				v0 := c0[j]
+				v0 += a00 * bv0
+				v0 += a10 * bv1
+				c0[j] = v0
+				v1 := c1[j]
+				v1 += a01 * bv0
+				v1 += a11 * bv1
+				c1[j] = v1
+				v2 := c2[j]
+				v2 += a02 * bv0
+				v2 += a12 * bv1
+				c2[j] = v2
+			}
+		}
+		for ; i < m; i++ {
+			ai := a[i*3 : i*3+3 : i*3+3]
+			av0, av1, av2 := ai[0], ai[1], ai[2]
+			bi := arena[rows[i]*n : rows[i]*n+n]
+			for j, bv := range bi {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		bi := arena[rows[i]*n : rows[i]*n+n]
+		for kk, av := range ai {
+			if av == 0 {
+				continue
+			}
+			ck := dst[kk*n : (kk+1)*n]
+			for j, bv := range bi {
+				ck[j] += av * bv
+			}
 		}
 	}
 }

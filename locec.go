@@ -178,7 +178,7 @@ func (r *Result) Label(u, v NodeID) Label {
 // {u,v}, or nil if the edge does not exist. Index the result with
 // Colleague/Family/Schoolmate.
 func (r *Result) Probabilities(u, v NodeID) []float64 {
-	return r.inner.Probabilities[(graph.Edge{U: u, V: v}).Key()]
+	return r.inner.Edges.Probs((graph.Edge{U: u, V: v}).Key())
 }
 
 // NumCommunities reports how many local communities Phase I detected
